@@ -1,0 +1,22 @@
+//! Regenerates Figure 6: normalized execution cycles for baseline,
+//! multipass, and idealized out-of-order across the twelve benchmarks,
+//! with the execution / front-end / other / load breakdown.
+
+use std::time::Instant;
+
+use ff_bench::scale_from_env;
+use ff_experiments::{figure6, render, Suite};
+
+fn main() {
+    let scale = scale_from_env();
+    let t0 = Instant::now();
+    let mut suite = Suite::new(scale);
+    let f = figure6(&mut suite);
+    println!("=== Figure 6: normalized execution cycles ({scale:?} scale) ===\n");
+    println!("{}", render::figure6(&f));
+    println!("{}", render::figure6_bars(&f));
+    if let Some(path) = ff_experiments::csv::write_if_configured("figure6_cycles", &ff_experiments::csv::figure6(&f)) {
+        println!("csv written to {}", path.display());
+    }
+    println!("wall time: {:.1}s", t0.elapsed().as_secs_f64());
+}

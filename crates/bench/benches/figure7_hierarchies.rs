@@ -1,0 +1,21 @@
+//! Regenerates Figure 7: multipass and out-of-order speedups over the
+//! in-order baseline for the three cache hierarchies (base, config1 with
+//! 200-cycle memory, and the smaller/slower config2).
+
+use std::time::Instant;
+
+use ff_bench::scale_from_env;
+use ff_experiments::{figure7, render, Suite};
+
+fn main() {
+    let scale = scale_from_env();
+    let t0 = Instant::now();
+    let mut suite = Suite::new(scale);
+    let f = figure7(&mut suite);
+    println!("=== Figure 7: speedups across cache hierarchies ({scale:?} scale) ===\n");
+    println!("{}", render::figure7(&f));
+    if let Some(path) = ff_experiments::csv::write_if_configured("figure7_hierarchies", &ff_experiments::csv::figure7(&f)) {
+        println!("csv written to {}", path.display());
+    }
+    println!("wall time: {:.1}s", t0.elapsed().as_secs_f64());
+}

@@ -1,0 +1,20 @@
+//! Regenerates Figure 8: the share of the full multipass speedup retained
+//! without issue regrouping and without advance restart.
+
+use std::time::Instant;
+
+use ff_bench::scale_from_env;
+use ff_experiments::{figure8, render, Suite};
+
+fn main() {
+    let scale = scale_from_env();
+    let t0 = Instant::now();
+    let mut suite = Suite::new(scale);
+    let f = figure8(&mut suite);
+    println!("=== Figure 8: regrouping / advance-restart ablation ({scale:?} scale) ===\n");
+    println!("{}", render::figure8(&f));
+    if let Some(path) = ff_experiments::csv::write_if_configured("figure8_ablation", &ff_experiments::csv::figure8(&f)) {
+        println!("csv written to {}", path.display());
+    }
+    println!("wall time: {:.1}s", t0.elapsed().as_secs_f64());
+}

@@ -1,0 +1,18 @@
+//! Regenerates the §5.2 comparison against a realistic out-of-order design
+//! with decentralized 16-entry scheduling queues (paper: multipass is
+//! 1.05x faster on average).
+
+use std::time::Instant;
+
+use ff_bench::scale_from_env;
+use ff_experiments::{realistic_ooo, render, Suite};
+
+fn main() {
+    let scale = scale_from_env();
+    let t0 = Instant::now();
+    let mut suite = Suite::new(scale);
+    let r = realistic_ooo(&mut suite);
+    println!("=== §5.2: multipass vs realistic out-of-order ({scale:?} scale) ===\n");
+    println!("{}", render::realistic_ooo(&r));
+    println!("wall time: {:.1}s", t0.elapsed().as_secs_f64());
+}

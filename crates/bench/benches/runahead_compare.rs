@@ -1,0 +1,17 @@
+//! Regenerates the §5.4 comparison: Dundas–Mudge runahead "only reduced
+//! half as many cycles as multipass relative to in-order".
+
+use std::time::Instant;
+
+use ff_bench::scale_from_env;
+use ff_experiments::{render, runahead_compare, Suite};
+
+fn main() {
+    let scale = scale_from_env();
+    let t0 = Instant::now();
+    let mut suite = Suite::new(scale);
+    let r = runahead_compare(&mut suite);
+    println!("=== §5.4: Dundas-Mudge runahead vs multipass ({scale:?} scale) ===\n");
+    println!("{}", render::runahead(&r));
+    println!("wall time: {:.1}s", t0.elapsed().as_secs_f64());
+}

@@ -1,0 +1,45 @@
+//! Criterion micro-benchmarks of the simulator core: cycles simulated per
+//! second for each execution model on a fixed small workload.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use ff_baselines::{InOrder, OutOfOrder, Runahead};
+use ff_engine::{ExecutionModel, MachineConfig, SimCase};
+use ff_multipass::Multipass;
+use ff_workloads::{Scale, Workload};
+
+fn bench_models(c: &mut Criterion) {
+    let w = Workload::by_name("gap", Scale::Test).expect("gap exists");
+    let machine = MachineConfig::itanium2_base();
+    let mut group = c.benchmark_group("sim_throughput");
+    group.sample_size(10);
+
+    group.bench_function("inorder/gap", |b| {
+        b.iter(|| {
+            let case = SimCase::new(&w.program, w.mem.clone());
+            InOrder::new(machine).run(&case).stats.cycles
+        })
+    });
+    group.bench_function("runahead/gap", |b| {
+        b.iter(|| {
+            let case = SimCase::new(&w.program, w.mem.clone());
+            Runahead::new(machine).run(&case).stats.cycles
+        })
+    });
+    group.bench_function("ooo/gap", |b| {
+        b.iter(|| {
+            let case = SimCase::new(&w.program, w.mem.clone());
+            OutOfOrder::new(machine).run(&case).stats.cycles
+        })
+    });
+    group.bench_function("multipass/gap", |b| {
+        b.iter(|| {
+            let case = SimCase::new(&w.program, w.mem.clone());
+            Multipass::new(machine).run(&case).stats.cycles
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_models);
+criterion_main!(benches);

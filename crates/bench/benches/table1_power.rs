@@ -1,0 +1,21 @@
+//! Regenerates Table 1: peak and average power ratios of out-of-order to
+//! multipass structures, with average activity measured from the Figure 6
+//! runs.
+
+use std::time::Instant;
+
+use ff_bench::scale_from_env;
+use ff_experiments::{table1_experiment, Suite};
+
+fn main() {
+    let scale = scale_from_env();
+    let t0 = Instant::now();
+    let mut suite = Suite::new(scale);
+    let rows = table1_experiment(&mut suite);
+    println!("=== Table 1: power ratios, out-of-order / multipass ({scale:?} scale) ===\n");
+    println!("{}", ff_power::table1::render(&rows));
+    println!("paper reference: register/data 0.99 peak / 1.20 avg;");
+    println!("                 scheduling 10.28 peak / 7.15 avg;");
+    println!("                 memory ordering 3.21 peak / 9.79 avg");
+    println!("\nwall time: {:.1}s", t0.elapsed().as_secs_f64());
+}

@@ -1,0 +1,10 @@
+//! Regenerates Table 2: the experimental machine configuration.
+
+use ff_experiments::table2;
+
+fn main() {
+    println!("=== Table 2: experimental machine configuration ===\n");
+    for (feature, params) in table2() {
+        println!("{feature:<44} {params}");
+    }
+}

@@ -1,0 +1,248 @@
+//! Intra-block dependence DAG construction.
+
+use ff_isa::Inst;
+
+/// Kind of dependence between two instructions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum DepKind {
+    /// Read-after-write: the consumer must issue at least the producer's
+    /// latency later.
+    Raw,
+    /// Write-after-write: the later writer must issue in a strictly later
+    /// issue group (no dynamic renaming in an EPIC pipeline).
+    Waw,
+    /// Write-after-read: the writer may share the reader's issue group
+    /// (group reads happen before writes) but not precede it.
+    War,
+    /// Memory ordering between possibly aliasing accesses.
+    Mem,
+    /// Control ordering: everything precedes the block-terminating branch.
+    Control,
+}
+
+/// A dependence edge `from -> to` over block-local instruction indices.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DepEdge {
+    /// Producer index within the block.
+    pub from: usize,
+    /// Consumer index within the block.
+    pub to: usize,
+    /// Kind of dependence.
+    pub kind: DepKind,
+    /// Minimum issue-cycle separation: `cycle(to) >= cycle(from) + min_delay`.
+    pub min_delay: u32,
+}
+
+/// Dependence DAG over the instructions of one basic block.
+///
+/// Edges point from producers to consumers with the minimum issue-cycle
+/// separation implied by the dependence kind and the producer's latency.
+/// Memory dependences use the alias regions the front end carries
+/// ([`Inst::may_alias`]); load→load pairs are always independent.
+#[derive(Clone, Debug)]
+pub struct DepDag {
+    n: usize,
+    edges: Vec<DepEdge>,
+    succs: Vec<Vec<usize>>,
+    preds: Vec<Vec<usize>>,
+}
+
+impl DepDag {
+    /// Builds the DAG for a block of instructions in source order.
+    pub fn build(block: &[Inst]) -> Self {
+        let n = block.len();
+        let mut edges = Vec::new();
+        for (j, bj) in block.iter().enumerate() {
+            #[allow(clippy::needless_range_loop)] // i is also an edge index
+            for i in 0..j {
+                let bi = &block[i];
+                let mut push = |kind: DepKind, min_delay: u32| {
+                    edges.push(DepEdge { from: i, to: j, kind, min_delay });
+                };
+                // RAW: i writes a register j reads.
+                if let Some(w) = bi.writes() {
+                    if bj.reads().any(|r| r == w) {
+                        push(DepKind::Raw, bi.op().latency());
+                    }
+                    // WAW: both write the same register.
+                    if bj.writes() == Some(w) {
+                        push(DepKind::Waw, 1);
+                    }
+                }
+                // WAR: i reads a register j writes.
+                if let Some(w) = bj.writes() {
+                    if bi.reads().any(|r| r == w) {
+                        push(DepKind::War, 0);
+                    }
+                }
+                // Memory ordering (store involved, may-alias).
+                if bi.may_alias(bj) && (bi.op().is_store() || bj.op().is_store()) {
+                    let delay = if bi.op().is_store() && bj.op().is_load() {
+                        1 // store -> load: forwardable only in a later group
+                    } else if bi.op().is_load() && bj.op().is_store() {
+                        0 // load -> store: may share a group (reads first)
+                    } else {
+                        1 // store -> store order
+                    };
+                    push(DepKind::Mem, delay);
+                }
+                // Control: branches anchor the end of the block.
+                if bj.op().is_branch() && !bi.op().is_branch() {
+                    push(DepKind::Control, 0);
+                }
+                if bi.op().is_branch() && !bj.op().is_branch() {
+                    // Nothing may move across a branch (blocks end with
+                    // branches in well-formed input, but be safe).
+                    push(DepKind::Control, 1);
+                }
+                if bi.op().is_branch() && bj.op().is_branch() {
+                    push(DepKind::Control, 1);
+                }
+            }
+        }
+        let mut succs = vec![Vec::new(); n];
+        let mut preds = vec![Vec::new(); n];
+        for (e, edge) in edges.iter().enumerate() {
+            succs[edge.from].push(e);
+            preds[edge.to].push(e);
+        }
+        DepDag { n, edges, succs, preds }
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the block is empty.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// All edges.
+    pub fn edges(&self) -> &[DepEdge] {
+        &self.edges
+    }
+
+    /// Edges whose producer is `i`.
+    pub fn succ_edges(&self, i: usize) -> impl Iterator<Item = &DepEdge> + '_ {
+        self.succs[i].iter().map(move |&e| &self.edges[e])
+    }
+
+    /// Edges whose consumer is `i`.
+    pub fn pred_edges(&self, i: usize) -> impl Iterator<Item = &DepEdge> + '_ {
+        self.preds[i].iter().map(move |&e| &self.edges[e])
+    }
+
+    /// Longest-path priority of every node: the maximum accumulated
+    /// `min_delay` (plus own latency contribution through RAW chains) from
+    /// the node to any sink. Used as the list-scheduling priority.
+    pub fn critical_path_priorities(&self) -> Vec<u32> {
+        let mut prio = vec![0u32; self.n];
+        // Nodes in source order form a topological order (edges only go
+        // forward), so a reverse sweep computes longest paths.
+        for i in (0..self.n).rev() {
+            let mut best = 0;
+            for e in self.succ_edges(i) {
+                best = best.max(e.min_delay + prio[e.to]);
+            }
+            prio[i] = best;
+        }
+        prio
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ff_isa::{Op, Reg};
+
+    fn add(d: u8, a: u8, b: u8) -> Inst {
+        Inst::new(Op::Add).dst(Reg::int(d)).src(Reg::int(a)).src(Reg::int(b))
+    }
+
+    #[test]
+    fn raw_edge_carries_latency() {
+        let block = vec![
+            Inst::new(Op::Mul).dst(Reg::int(1)).src(Reg::int(2)).src(Reg::int(3)),
+            add(4, 1, 1),
+        ];
+        let dag = DepDag::build(&block);
+        let raw: Vec<_> = dag.edges().iter().filter(|e| e.kind == DepKind::Raw).collect();
+        assert_eq!(raw.len(), 1);
+        assert_eq!(raw[0].min_delay, 5); // Mul latency
+    }
+
+    #[test]
+    fn waw_and_war_edges() {
+        let block = vec![add(1, 2, 3), add(4, 1, 1), add(1, 5, 5)];
+        let dag = DepDag::build(&block);
+        assert!(dag
+            .edges()
+            .iter()
+            .any(|e| e.kind == DepKind::Waw && e.from == 0 && e.to == 2 && e.min_delay == 1));
+        assert!(dag
+            .edges()
+            .iter()
+            .any(|e| e.kind == DepKind::War && e.from == 1 && e.to == 2 && e.min_delay == 0));
+    }
+
+    #[test]
+    fn disjoint_regions_have_no_mem_edge() {
+        let block = vec![
+            Inst::new(Op::Store).src(Reg::int(1)).src(Reg::int(2)).region(0),
+            Inst::new(Op::Load).dst(Reg::int(3)).src(Reg::int(4)).region(1),
+        ];
+        let dag = DepDag::build(&block);
+        assert!(!dag.edges().iter().any(|e| e.kind == DepKind::Mem));
+    }
+
+    #[test]
+    fn aliasing_store_load_ordered() {
+        let block = vec![
+            Inst::new(Op::Store).src(Reg::int(1)).src(Reg::int(2)),
+            Inst::new(Op::Load).dst(Reg::int(3)).src(Reg::int(4)),
+        ];
+        let dag = DepDag::build(&block);
+        let mem: Vec<_> = dag.edges().iter().filter(|e| e.kind == DepKind::Mem).collect();
+        assert_eq!(mem.len(), 1);
+        assert_eq!(mem[0].min_delay, 1);
+    }
+
+    #[test]
+    fn loads_never_order_with_loads() {
+        let block = vec![
+            Inst::new(Op::Load).dst(Reg::int(1)).src(Reg::int(2)),
+            Inst::new(Op::Load).dst(Reg::int(3)).src(Reg::int(4)),
+        ];
+        let dag = DepDag::build(&block);
+        assert!(!dag.edges().iter().any(|e| e.kind == DepKind::Mem));
+    }
+
+    #[test]
+    fn everything_precedes_the_branch() {
+        let block = vec![add(1, 2, 3), Inst::new(Op::Br { target: ff_isa::program::BlockId(0) })];
+        let dag = DepDag::build(&block);
+        assert!(dag
+            .edges()
+            .iter()
+            .any(|e| e.kind == DepKind::Control && e.from == 0 && e.to == 1));
+    }
+
+    #[test]
+    fn priorities_reflect_chains() {
+        // mul (lat 5) -> add (lat 1) -> add
+        let block = vec![
+            Inst::new(Op::Mul).dst(Reg::int(1)).src(Reg::int(2)).src(Reg::int(3)),
+            add(4, 1, 1),
+            add(5, 4, 4),
+            add(9, 8, 8), // independent
+        ];
+        let dag = DepDag::build(&block);
+        let prio = dag.critical_path_priorities();
+        assert_eq!(prio[0], 6); // 5 (mul) + 1 (add)
+        assert_eq!(prio[1], 1);
+        assert_eq!(prio[2], 0);
+        assert_eq!(prio[3], 0);
+    }
+}

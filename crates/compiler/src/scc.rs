@@ -1,0 +1,296 @@
+//! Strongly connected components of the loop dataflow graph.
+//!
+//! The paper's advance-restart heuristic (§3.3) is driven by SCCs of the
+//! dataflow graph: "strongly connected components (SCCs) of the data-flow
+//! graph are found: these components represent loop-carried data flow."
+//! This module finds them for *single-block loops* (a block whose
+//! terminating branch targets itself — the shape of every hot loop emitted
+//! by `ff-workloads`), using intra-iteration RAW edges plus loop-carried
+//! RAW edges from each register's last writer back to earlier readers.
+
+use ff_isa::{program::BlockId, Inst, Program};
+
+/// A non-trivial SCC found in the dataflow graph of a loop block.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LoopScc {
+    /// The loop block.
+    pub block: BlockId,
+    /// Block-local indices of the SCC members.
+    pub members: Vec<usize>,
+    /// The subset of members that are loads.
+    pub loads: Vec<usize>,
+    /// Count of variable-latency instructions (loads and multi-cycle ops)
+    /// strictly downstream of the SCC within one iteration.
+    pub downstream_variable: usize,
+    /// Count of variable-latency instructions strictly upstream of the SCC
+    /// within one iteration.
+    pub upstream_variable: usize,
+}
+
+/// Whether `block` is a single-block loop: some branch in it targets the
+/// block itself.
+pub fn is_self_loop(block_id: BlockId, block: &[Inst]) -> bool {
+    block.iter().any(|i| matches!(i.op(), ff_isa::Op::Br { target } if *target == block_id))
+}
+
+/// Builds the dataflow successor lists for a loop block: intra-iteration
+/// RAW edges `i -> j` (`i < j`) and loop-carried RAW edges `last_writer ->
+/// reader` for every register live around the back edge.
+fn dataflow_succs(block: &[Inst]) -> Vec<Vec<usize>> {
+    let n = block.len();
+    let mut succs = vec![Vec::new(); n];
+    // Intra-iteration RAW.
+    for i in 0..n {
+        if let Some(w) = block[i].writes() {
+            // Value from i reaches j if no redefinition of w in (i, j).
+            let mut killed = false;
+            for (j, bj) in block.iter().enumerate().skip(i + 1) {
+                if !killed && bj.reads().any(|r| r == w) {
+                    succs[i].push(j);
+                }
+                if bj.writes() == Some(w) {
+                    killed = true;
+                }
+            }
+        }
+    }
+    // Loop-carried RAW: the last writer of each register reaches readers at
+    // the top of the next iteration (up to the first redefinition).
+    for i in 0..n {
+        if let Some(w) = block[i].writes() {
+            let is_last_writer = block[(i + 1)..].iter().all(|b| b.writes() != Some(w));
+            if !is_last_writer {
+                continue;
+            }
+            for (j, bj) in block.iter().enumerate() {
+                if bj.reads().any(|r| r == w) {
+                    succs[i].push(j);
+                }
+                if bj.writes() == Some(w) {
+                    break; // redefinition kills the carried value
+                }
+            }
+        }
+    }
+    for s in &mut succs {
+        s.sort_unstable();
+        s.dedup();
+    }
+    succs
+}
+
+/// Iterative Tarjan SCC. Returns components as lists of node indices.
+fn tarjan(succs: &[Vec<usize>]) -> Vec<Vec<usize>> {
+    let n = succs.len();
+    let mut index = vec![usize::MAX; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut sccs: Vec<Vec<usize>> = Vec::new();
+    // Explicit DFS stack: (node, next child position).
+    let mut dfs: Vec<(usize, usize)> = Vec::new();
+
+    for start in 0..n {
+        if index[start] != usize::MAX {
+            continue;
+        }
+        dfs.push((start, 0));
+        index[start] = next_index;
+        low[start] = next_index;
+        next_index += 1;
+        stack.push(start);
+        on_stack[start] = true;
+
+        while let Some(&mut (v, ref mut ci)) = dfs.last_mut() {
+            if *ci < succs[v].len() {
+                let w = succs[v][*ci];
+                *ci += 1;
+                if index[w] == usize::MAX {
+                    index[w] = next_index;
+                    low[w] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w] = true;
+                    dfs.push((w, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            } else {
+                dfs.pop();
+                if let Some(&(parent, _)) = dfs.last() {
+                    low[parent] = low[parent].min(low[v]);
+                }
+                if low[v] == index[v] {
+                    let mut comp = Vec::new();
+                    while let Some(w) = stack.pop() {
+                        on_stack[w] = false;
+                        comp.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    sccs.push(comp);
+                }
+            }
+        }
+    }
+    sccs
+}
+
+fn is_variable_latency(inst: &Inst) -> bool {
+    inst.op().is_load() || inst.op().is_multicycle()
+}
+
+/// Reachability closure from a seed set over successor lists.
+fn reachable(succs: &[Vec<usize>], seeds: &[usize]) -> Vec<bool> {
+    let mut seen = vec![false; succs.len()];
+    let mut work: Vec<usize> = seeds.to_vec();
+    while let Some(v) = work.pop() {
+        for &w in &succs[v] {
+            if !seen[w] {
+                seen[w] = true;
+                work.push(w);
+            }
+        }
+    }
+    seen
+}
+
+/// Finds the non-trivial SCCs (size > 1, or a single node with a self
+/// edge) of every single-block loop in `program`, with the
+/// upstream/downstream variable-latency counts the restart heuristic needs.
+pub fn loop_sccs(program: &Program) -> Vec<LoopScc> {
+    let mut out = Vec::new();
+    for b in 0..program.num_blocks() {
+        let block_id = BlockId(b as u32);
+        let block = match program.block(block_id) {
+            Some(x) if !x.is_empty() => x,
+            _ => continue,
+        };
+        if !is_self_loop(block_id, block) {
+            continue;
+        }
+        let succs = dataflow_succs(block);
+        let preds = invert(&succs);
+        for comp in tarjan(&succs) {
+            let nontrivial =
+                comp.len() > 1 || (comp.len() == 1 && succs[comp[0]].contains(&comp[0]));
+            if !nontrivial {
+                continue;
+            }
+            let mut members = comp.clone();
+            members.sort_unstable();
+            let loads: Vec<usize> =
+                members.iter().copied().filter(|&i| block[i].op().is_load()).collect();
+            let down = reachable(&succs, &members);
+            let up = reachable(&preds, &members);
+            let count = |flags: &[bool]| {
+                flags
+                    .iter()
+                    .enumerate()
+                    .filter(|&(i, &f)| {
+                        f && members.binary_search(&i).is_err() && is_variable_latency(&block[i])
+                    })
+                    .count()
+            };
+            let downstream_variable = count(&down);
+            let upstream_variable = count(&up);
+            out.push(LoopScc { block: block_id, members, loads, downstream_variable, upstream_variable });
+        }
+    }
+    out
+}
+
+fn invert(succs: &[Vec<usize>]) -> Vec<Vec<usize>> {
+    let mut preds = vec![Vec::new(); succs.len()];
+    for (i, ss) in succs.iter().enumerate() {
+        for &j in ss {
+            preds[j].push(i);
+        }
+    }
+    preds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ff_isa::{Op, Reg};
+
+    /// Pointer-chase loop: r1 = load r1; r2 = load (r1+8); r3 = r2+r3;
+    /// cmp; br self.
+    fn chase_loop() -> Program {
+        let mut p = Program::new();
+        let b0 = p.add_block();
+        let b1 = p.add_block();
+        p.push(b0, Inst::new(Op::MovImm).dst(Reg::int(1)).imm(0x1000));
+        p.push(b1, Inst::new(Op::Load).dst(Reg::int(1)).src(Reg::int(1)));
+        p.push(b1, Inst::new(Op::Load).dst(Reg::int(2)).src(Reg::int(1)).imm(8));
+        p.push(b1, Inst::new(Op::Add).dst(Reg::int(3)).src(Reg::int(3)).src(Reg::int(2)));
+        p.push(b1, Inst::new(Op::CmpNe).dst(Reg::pred(1)).src(Reg::int(1)).src(Reg::int(0)));
+        p.push(b1, Inst::new(Op::Br { target: b1 }).qp(Reg::pred(1)));
+        let b2 = p.add_block();
+        p.push(b2, Inst::new(Op::Halt));
+        p
+    }
+
+    #[test]
+    fn finds_pointer_chase_scc() {
+        let sccs = loop_sccs(&chase_loop());
+        // r1 = load r1 forms a self-SCC containing one load; the r3
+        // accumulator forms another SCC with no load.
+        let with_load: Vec<_> = sccs.iter().filter(|s| !s.loads.is_empty()).collect();
+        assert_eq!(with_load.len(), 1);
+        let s = with_load[0];
+        assert_eq!(s.block, BlockId(1));
+        assert_eq!(s.loads, vec![0]); // the chase load is inst 0 of block 1
+        // Downstream of the chase: the second load (variable latency).
+        assert!(s.downstream_variable >= 1);
+        assert_eq!(s.upstream_variable, 0);
+    }
+
+    #[test]
+    fn accumulator_scc_has_no_loads() {
+        let sccs = loop_sccs(&chase_loop());
+        assert!(sccs.iter().any(|s| s.loads.is_empty()), "accumulator SCC expected");
+    }
+
+    #[test]
+    fn non_loop_blocks_are_ignored() {
+        let mut p = Program::new();
+        let b = p.add_block();
+        p.push(b, Inst::new(Op::Load).dst(Reg::int(1)).src(Reg::int(1)));
+        p.push(b, Inst::new(Op::Halt));
+        assert!(loop_sccs(&p).is_empty());
+    }
+
+    #[test]
+    fn redefinition_kills_carried_value() {
+        // r1 is rewritten from scratch each iteration -> no SCC through r1.
+        let mut p = Program::new();
+        let b0 = p.add_block();
+        p.push(b0, Inst::new(Op::MovImm).dst(Reg::int(1)).imm(0x40));
+        p.push(b0, Inst::new(Op::Load).dst(Reg::int(2)).src(Reg::int(1)));
+        p.push(b0, Inst::new(Op::CmpNe).dst(Reg::pred(1)).src(Reg::int(2)).src(Reg::int(0)));
+        p.push(b0, Inst::new(Op::Br { target: b0 }).qp(Reg::pred(1)));
+        let b1 = p.add_block();
+        p.push(b1, Inst::new(Op::Halt));
+        let sccs = loop_sccs(&p);
+        assert!(sccs.iter().all(|s| s.loads.is_empty()), "{sccs:?}");
+    }
+
+    #[test]
+    fn multi_node_scc() {
+        // r1 -> r2 -> r1 chain across the back edge.
+        let mut p = Program::new();
+        let b0 = p.add_block();
+        p.push(b0, Inst::new(Op::AddImm).dst(Reg::int(2)).src(Reg::int(1)).imm(1));
+        p.push(b0, Inst::new(Op::AddImm).dst(Reg::int(1)).src(Reg::int(2)).imm(1));
+        p.push(b0, Inst::new(Op::CmpNe).dst(Reg::pred(1)).src(Reg::int(1)).src(Reg::int(0)));
+        p.push(b0, Inst::new(Op::Br { target: b0 }).qp(Reg::pred(1)));
+        let b1 = p.add_block();
+        p.push(b1, Inst::new(Op::Halt));
+        let sccs = loop_sccs(&p);
+        assert!(sccs.iter().any(|s| s.members == vec![0, 1]));
+    }
+}

@@ -1,0 +1,194 @@
+//! The advance store cache (ASC) of paper §3.6.
+//!
+//! A small, low-associativity cache that forwards advance-store data to
+//! subsequent advance loads within one pass. Unlike an out-of-order
+//! processor's content-addressable store queue, the ASC tolerates a very
+//! large window of in-flight memory instructions by *allowing information
+//! loss*: when a set replaces an entry, later loads that miss in that set
+//! can no longer be proven consistent and become **data speculative**. The
+//! ASC is cleared at the start of every advance pass.
+
+/// A value forwarded by the ASC.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AscData {
+    /// The forwarded store data (with its data-speculation taint).
+    Valid {
+        /// Store data.
+        value: u64,
+        /// Whether the store's data was derived from a data-speculative
+        /// load (taint propagates to the forwarded value).
+        tainted: bool,
+    },
+    /// The store producing this address had an invalid (deferred) data
+    /// operand — any load reading it is itself invalid this pass.
+    Invalid,
+}
+
+/// Result of an ASC lookup.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AscLookup {
+    /// An advance store to this word is present.
+    Hit(AscData),
+    /// No entry; no replacement has occurred in this set, so the ordinary
+    /// cache hierarchy value is trustworthy.
+    Miss,
+    /// No entry, but this set has replaced entries this pass — the load
+    /// must be marked data speculative (S-bit).
+    MissAfterReplacement,
+}
+
+/// The advance store cache: word-granular, set-associative, FIFO
+/// replacement within a set, with per-set replacement tracking.
+#[derive(Clone, Debug)]
+pub struct AdvanceStoreCache {
+    assoc: usize,
+    sets: Vec<Vec<(u64, AscData)>>,
+    replaced: Vec<bool>,
+    inserts: u64,
+    replacements: u64,
+}
+
+impl AdvanceStoreCache {
+    /// Creates an ASC with `entries` total capacity and `assoc` ways.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `assoc >= 1` and `entries` is a positive multiple of
+    /// `assoc`.
+    pub fn new(entries: usize, assoc: usize) -> Self {
+        assert!(assoc >= 1 && entries > 0 && entries.is_multiple_of(assoc));
+        let num_sets = entries / assoc;
+        AdvanceStoreCache {
+            assoc,
+            sets: vec![Vec::new(); num_sets],
+            replaced: vec![false; num_sets],
+            inserts: 0,
+            replacements: 0,
+        }
+    }
+
+    fn set_index(&self, word_addr: u64) -> usize {
+        ((word_addr >> 3) % self.sets.len() as u64) as usize
+    }
+
+    /// Records an advance store to the word containing `addr`.
+    pub fn insert(&mut self, addr: u64, data: AscData) {
+        let word = ff_isa::MemoryImage::word_addr(addr);
+        let set = self.set_index(word);
+        self.inserts += 1;
+        let ways = &mut self.sets[set];
+        if let Some(e) = ways.iter_mut().find(|(w, _)| *w == word) {
+            e.1 = data; // newer store to the same word wins
+            return;
+        }
+        ways.push((word, data));
+        if ways.len() > self.assoc {
+            ways.remove(0); // FIFO within the set
+            self.replaced[set] = true;
+            self.replacements += 1;
+        }
+    }
+
+    /// Looks up the word containing `addr`.
+    pub fn lookup(&self, addr: u64) -> AscLookup {
+        let word = ff_isa::MemoryImage::word_addr(addr);
+        let set = self.set_index(word);
+        if let Some((_, d)) = self.sets[set].iter().find(|(w, _)| *w == word) {
+            AscLookup::Hit(*d)
+        } else if self.replaced[set] {
+            AscLookup::MissAfterReplacement
+        } else {
+            AscLookup::Miss
+        }
+    }
+
+    /// Clears all entries and replacement flags (start of an advance pass).
+    pub fn clear(&mut self) {
+        for s in &mut self.sets {
+            s.clear();
+        }
+        self.replaced.fill(false);
+    }
+
+    /// Total inserts over the run.
+    pub fn inserts(&self) -> u64 {
+        self.inserts
+    }
+
+    /// Total replacements (information-loss events) over the run.
+    pub fn replacements(&self) -> u64 {
+        self.replacements
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn valid(v: u64) -> AscData {
+        AscData::Valid { value: v, tainted: false }
+    }
+
+    #[test]
+    fn forwards_store_data() {
+        let mut asc = AdvanceStoreCache::new(64, 2);
+        asc.insert(0x100, valid(7));
+        assert_eq!(asc.lookup(0x100), AscLookup::Hit(valid(7)));
+        assert_eq!(asc.lookup(0x104), AscLookup::Hit(valid(7)), "same word");
+        assert_eq!(asc.lookup(0x108), AscLookup::Miss);
+    }
+
+    #[test]
+    fn newer_store_overwrites() {
+        let mut asc = AdvanceStoreCache::new(64, 2);
+        asc.insert(0x100, valid(1));
+        asc.insert(0x100, valid(2));
+        assert_eq!(asc.lookup(0x100), AscLookup::Hit(valid(2)));
+    }
+
+    #[test]
+    fn invalid_store_data_poisons_loads() {
+        let mut asc = AdvanceStoreCache::new(64, 2);
+        asc.insert(0x200, AscData::Invalid);
+        assert_eq!(asc.lookup(0x200), AscLookup::Hit(AscData::Invalid));
+    }
+
+    #[test]
+    fn replacement_marks_set_speculative() {
+        let mut asc = AdvanceStoreCache::new(4, 2); // 2 sets of 2 ways
+        // Three distinct words in the same set (stride = 2 words).
+        asc.insert(0x00, valid(1));
+        asc.insert(0x10, valid(2));
+        assert_eq!(asc.lookup(0x20), AscLookup::Miss);
+        asc.insert(0x20, valid(3)); // evicts 0x00 (FIFO)
+        assert_eq!(asc.lookup(0x00), AscLookup::MissAfterReplacement);
+        assert_eq!(asc.lookup(0x10), AscLookup::Hit(valid(2)));
+        // The *other* set is unaffected.
+        assert_eq!(asc.lookup(0x08), AscLookup::Miss);
+        assert_eq!(asc.replacements(), 1);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut asc = AdvanceStoreCache::new(4, 2);
+        asc.insert(0x00, valid(1));
+        asc.insert(0x10, valid(2));
+        asc.insert(0x20, valid(3));
+        asc.clear();
+        assert_eq!(asc.lookup(0x00), AscLookup::Miss);
+        assert_eq!(asc.lookup(0x10), AscLookup::Miss);
+    }
+
+    #[test]
+    fn taint_travels_with_data() {
+        let mut asc = AdvanceStoreCache::new(64, 2);
+        asc.insert(0x300, AscData::Valid { value: 9, tainted: true });
+        match asc.lookup(0x300) {
+            AscLookup::Hit(AscData::Valid { value, tainted }) => {
+                assert_eq!(value, 9);
+                assert!(tainted);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! Per-instruction-queue-entry multipass state: the result store (RS) with
+//! E-bits and S-bits, and the SMAQ address (paper §3.1, §3.6).
+
+/// The preserved result of a successfully preexecuted instruction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RsResult {
+    /// A register result.
+    Value(u64),
+    /// The instruction was a (qualified-off or result-less) no-op.
+    Nop,
+    /// A preexecuted store: the resolved address and data operand, to be
+    /// performed architecturally in rally mode without re-reading operands.
+    Store {
+        /// Effective address from the SMAQ.
+        addr: u64,
+        /// Data operand preserved in the RS.
+        data: u64,
+    },
+}
+
+/// Multipass state attached to one instruction-queue entry.
+///
+/// Entries are created lazily when advance mode first touches a sequence
+/// number and are discarded when the entry retires or is squashed.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MpEntry {
+    /// E-bit: a preserved result exists (available from `rs_ready_at`).
+    pub e_bit: bool,
+    /// The preserved result.
+    pub result: Option<RsResult>,
+    /// Cycle at which the preserved result is available (loads deposit
+    /// their value when the miss returns — §3.5).
+    pub rs_ready_at: u64,
+    /// S-bit: the (load) result is data speculative and must be verified
+    /// value-wise in rally mode (§3.6).
+    pub s_bit: bool,
+    /// The result was derived from a data-speculative value; advance-mode
+    /// side effects (fetch redirects, predictor training) are suppressed.
+    pub tainted: bool,
+    /// SMAQ entry: effective address resolved during advance execution.
+    pub smaq_addr: Option<u64>,
+    /// An advance-resolved branch already redirected fetch; records the
+    /// corrected successor so rally does not re-flush.
+    pub resolved_next: Option<Option<ff_isa::Pc>>,
+    /// The predictor was already trained for this branch by advance
+    /// execution.
+    pub branch_trained: bool,
+}
+
+impl MpEntry {
+    /// Whether the preserved result is available at cycle `now`.
+    pub fn rs_available(&self, now: u64) -> bool {
+        self.e_bit && self.rs_ready_at <= now
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn availability_respects_ready_cycle() {
+        let e = MpEntry {
+            e_bit: true,
+            result: Some(RsResult::Value(5)),
+            rs_ready_at: 10,
+            ..MpEntry::default()
+        };
+        assert!(!e.rs_available(9));
+        assert!(e.rs_available(10));
+    }
+
+    #[test]
+    fn default_entry_has_no_result() {
+        let e = MpEntry::default();
+        assert!(!e.e_bit);
+        assert!(!e.rs_available(u64::MAX));
+        assert!(e.result.is_none());
+    }
+}

@@ -1,0 +1,151 @@
+//! The speculative register file (SRF) with A-bits and I-bits (paper §3.1).
+//!
+//! During advance mode, each instruction that produces a result writes it
+//! to the SRF and sets the *A-bit* of its destination, redirecting later
+//! consumers from the architectural file to the speculative one. Suppressed
+//! (deferred) instructions instead set the *I-bit*, poisoning their
+//! consumers. The whole structure is cleared — "all A-bits are cleared,
+//! effectively clearing the SRF" — on advance restart and on rally entry.
+
+use ff_isa::Reg;
+
+/// A speculative register value.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SrfVal {
+    /// Valid result, bypassable at `ready_at`.
+    Valid {
+        /// The speculative value.
+        value: u64,
+        /// Cycle at which the value is available.
+        ready_at: u64,
+        /// Derived (transitively) from a data-speculative load.
+        tainted: bool,
+    },
+    /// I-bit with a known arrival: the producer is an outstanding load whose
+    /// result will be deposited in the result store at `arrives_at` (§3.5
+    /// WAW policy). Consumers defer this pass, but a `RESTART` finding this
+    /// state can wait for the arrival instead of churning empty passes.
+    Pending {
+        /// Cycle at which the producer's RS entry becomes available.
+        arrives_at: u64,
+    },
+    /// I-bit: the producer was deferred with no known arrival; consumers
+    /// must defer too.
+    Invalid,
+}
+
+/// The SRF: one optional speculative value per architectural register.
+/// `None` means the A-bit is clear and consumers read the architectural
+/// file.
+#[derive(Clone, Debug)]
+pub struct Srf {
+    slots: Vec<Option<SrfVal>>,
+    writes: u64,
+    reads: u64,
+}
+
+impl Default for Srf {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Srf {
+    /// Creates an SRF with all A-bits clear.
+    pub fn new() -> Self {
+        Srf { slots: vec![None; Reg::FLAT_COUNT], writes: 0, reads: 0 }
+    }
+
+    /// Writes a speculative value, setting the A-bit. Writes to hardwired
+    /// registers are dropped.
+    pub fn write(&mut self, r: Reg, v: SrfVal) {
+        if r.is_hardwired() {
+            return;
+        }
+        self.slots[r.flat_index()] = Some(v);
+        self.writes += 1;
+    }
+
+    /// Reads the speculative slot for `r`: `None` when the A-bit is clear
+    /// (consumer should read the architectural file).
+    pub fn read(&mut self, r: Reg) -> Option<SrfVal> {
+        if r.is_hardwired() {
+            return None;
+        }
+        self.reads += 1;
+        self.slots[r.flat_index()]
+    }
+
+    /// Non-counting probe (for trigger checks and tests).
+    pub fn probe(&self, r: Reg) -> Option<SrfVal> {
+        if r.is_hardwired() {
+            None
+        } else {
+            self.slots[r.flat_index()]
+        }
+    }
+
+    /// Clears every A-bit (advance restart / rally entry).
+    pub fn clear(&mut self) {
+        self.slots.fill(None);
+    }
+
+    /// Total SRF writes (activity for the power model).
+    pub fn write_count(&self) -> u64 {
+        self.writes
+    }
+
+    /// Total SRF reads (activity for the power model).
+    pub fn read_count(&self) -> u64 {
+        self.reads
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn abit_redirects_consumers() {
+        let mut srf = Srf::new();
+        assert_eq!(srf.read(Reg::int(4)), None);
+        srf.write(Reg::int(4), SrfVal::Valid { value: 9, ready_at: 3, tainted: false });
+        assert!(matches!(srf.read(Reg::int(4)), Some(SrfVal::Valid { value: 9, .. })));
+    }
+
+    #[test]
+    fn ibit_marks_deferred() {
+        let mut srf = Srf::new();
+        srf.write(Reg::fp(2), SrfVal::Invalid);
+        assert_eq!(srf.read(Reg::fp(2)), Some(SrfVal::Invalid));
+    }
+
+    #[test]
+    fn hardwired_registers_stay_architectural() {
+        let mut srf = Srf::new();
+        srf.write(Reg::int(0), SrfVal::Invalid);
+        assert_eq!(srf.read(Reg::int(0)), None);
+        srf.write(Reg::pred(0), SrfVal::Invalid);
+        assert_eq!(srf.read(Reg::pred(0)), None);
+    }
+
+    #[test]
+    fn clear_drops_all_abits() {
+        let mut srf = Srf::new();
+        srf.write(Reg::int(1), SrfVal::Invalid);
+        srf.write(Reg::pred(5), SrfVal::Valid { value: 1, ready_at: 0, tainted: true });
+        srf.clear();
+        assert_eq!(srf.probe(Reg::int(1)), None);
+        assert_eq!(srf.probe(Reg::pred(5)), None);
+    }
+
+    #[test]
+    fn activity_counters_accumulate() {
+        let mut srf = Srf::new();
+        srf.write(Reg::int(1), SrfVal::Invalid);
+        let _ = srf.read(Reg::int(1));
+        let _ = srf.read(Reg::int(2));
+        assert_eq!(srf.write_count(), 1);
+        assert_eq!(srf.read_count(), 2);
+    }
+}

@@ -1,0 +1,82 @@
+//! Property tests for the advance store cache: within one pass, the ASC
+//! must either forward exactly what a perfect store map would, or admit
+//! information loss (miss-after-replacement) — it may never forward a
+//! *wrong* value silently.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+
+use ff_multipass::asc::{AscData, AscLookup};
+use ff_multipass::AdvanceStoreCache;
+
+#[derive(Clone, Debug)]
+enum AscOp {
+    Store { addr: u64, value: u64 },
+    Load { addr: u64 },
+}
+
+fn arb_op() -> impl Strategy<Value = AscOp> {
+    prop_oneof![
+        (0u64..0x800, any::<u64>()).prop_map(|(addr, value)| AscOp::Store { addr: addr * 8, value }),
+        (0u64..0x800).prop_map(|addr| AscOp::Load { addr: addr * 8 }),
+    ]
+}
+
+proptest! {
+    /// ASC forwarding is sound versus a perfect store map.
+    #[test]
+    fn asc_never_forwards_a_wrong_value(
+        ops in proptest::collection::vec(arb_op(), 1..300),
+    ) {
+        let mut asc = AdvanceStoreCache::new(64, 2);
+        let mut perfect: HashMap<u64, u64> = HashMap::new();
+        for op in &ops {
+            match op {
+                AscOp::Store { addr, value } => {
+                    asc.insert(*addr, AscData::Valid { value: *value, tainted: false });
+                    perfect.insert(*addr, *value);
+                }
+                AscOp::Load { addr } => match asc.lookup(*addr) {
+                    AscLookup::Hit(AscData::Valid { value, .. }) => {
+                        // A hit must match the perfect store map exactly.
+                        prop_assert_eq!(Some(&value), perfect.get(addr));
+                    }
+                    AscLookup::Hit(AscData::Invalid) => {
+                        // Only possible if an Invalid was inserted — never
+                        // in this workload.
+                        prop_assert!(false, "unexpected invalid entry");
+                    }
+                    AscLookup::Miss => {
+                        // A clean miss means no store to this word survived
+                        // AND the set never lost information, so the word
+                        // must be absent from the perfect map too.
+                        prop_assert!(
+                            !perfect.contains_key(addr),
+                            "silent miss hides a forwardable store"
+                        );
+                    }
+                    AscLookup::MissAfterReplacement => {
+                        // Information loss is allowed — the pipeline marks
+                        // the load data-speculative and verifies later.
+                    }
+                },
+            }
+        }
+    }
+
+    /// Clearing the ASC erases every entry and every replacement flag.
+    #[test]
+    fn clear_is_complete(
+        stores in proptest::collection::vec(0u64..0x800, 1..200),
+    ) {
+        let mut asc = AdvanceStoreCache::new(64, 2);
+        for &a in &stores {
+            asc.insert(a * 8, AscData::Valid { value: a, tainted: false });
+        }
+        asc.clear();
+        for &a in &stores {
+            prop_assert_eq!(asc.lookup(a * 8), AscLookup::Miss);
+        }
+    }
+}

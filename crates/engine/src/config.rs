@@ -1,0 +1,147 @@
+//! Machine configuration (paper Table 2).
+
+use ff_mem::HierarchyConfig;
+
+/// Full experimental machine configuration, defaulting to the paper's
+/// Table 2 parameters ("6-issue, Itanium 2 FU distribution").
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MachineConfig {
+    /// Instructions fetched per cycle.
+    pub fetch_width: u32,
+    /// Instructions issued per cycle (6).
+    pub issue_width: u32,
+    /// Memory ports (4).
+    pub mem_ports: u32,
+    /// Integer ports (2); A-type ALU ops may also use memory ports.
+    pub int_ports: u32,
+    /// Floating-point ports (2), also integer multiply/divide.
+    pub fp_ports: u32,
+    /// Branch ports (3).
+    pub branch_ports: u32,
+    /// Instruction-buffer capacity of the baseline in-order pipeline (the
+    /// Itanium 2 buffer holds 24 instructions).
+    pub inorder_buffer: usize,
+    /// Multipass instruction-queue capacity (Table 2: 256 entries).
+    pub multipass_iq: usize,
+    /// Branch mispredict penalty in cycles (front-end refill of the 8-stage
+    /// in-order pipe).
+    pub mispredict_penalty: u64,
+    /// Extra scheduling/renaming stages of the out-of-order pipeline
+    /// (Table 2: 3), added to its mispredict penalty.
+    pub ooo_extra_stages: u64,
+    /// Out-of-order scheduling-window size (Table 2: 128 entries).
+    pub ooo_window: usize,
+    /// Out-of-order reorder-buffer size (Table 2: 256 entries).
+    pub ooo_rob: usize,
+    /// Per-queue capacity of the *realistic* decentralized out-of-order
+    /// variant (§5.2: "decentralized scheduling tables for memory, floating
+    /// point and integer instructions with 16 entries each").
+    pub ooo_decentralized_queue: usize,
+    /// Memory hierarchy.
+    pub hierarchy: HierarchyConfig,
+    /// Branch-predictor table entries (Table 2: 1024-entry gshare).
+    pub gshare_entries: usize,
+    /// Safety cap on simulated cycles.
+    pub max_cycles: u64,
+}
+
+impl MachineConfig {
+    /// The paper's Table 2 configuration with the base cache hierarchy.
+    pub fn itanium2_base() -> Self {
+        MachineConfig {
+            fetch_width: 6,
+            issue_width: 6,
+            mem_ports: 4,
+            int_ports: 2,
+            fp_ports: 2,
+            branch_ports: 3,
+            inorder_buffer: 24,
+            multipass_iq: 256,
+            mispredict_penalty: 8,
+            ooo_extra_stages: 3,
+            ooo_window: 128,
+            ooo_rob: 256,
+            ooo_decentralized_queue: 16,
+            hierarchy: HierarchyConfig::itanium2_base(),
+            gshare_entries: 1024,
+            max_cycles: 2_000_000_000,
+        }
+    }
+
+    /// Same machine with a different memory hierarchy (Figure 7 sweeps).
+    pub fn with_hierarchy(mut self, hierarchy: HierarchyConfig) -> Self {
+        self.hierarchy = hierarchy;
+        self
+    }
+
+    /// Renders the configuration as the rows of the paper's Table 2.
+    pub fn table2_rows(&self) -> Vec<(String, String)> {
+        vec![
+            (
+                "Functional Units".into(),
+                format!("{}-issue, Itanium 2 FU distribution", self.issue_width),
+            ),
+            ("L1I Cache".into(), self.hierarchy.l1i.to_string()),
+            ("L1D Cache".into(), self.hierarchy.l1d.to_string()),
+            ("L2 Cache".into(), self.hierarchy.l2.to_string()),
+            ("L3 Cache".into(), self.hierarchy.l3.to_string()),
+            (
+                "Max Outstanding Misses".into(),
+                self.hierarchy.max_outstanding.to_string(),
+            ),
+            ("Main Memory".into(), format!("{} cycles", self.hierarchy.mm_latency)),
+            ("Branch Predictor".into(), format!("{}-entry gshare", self.gshare_entries)),
+            (
+                "Multipass Instruction Queue".into(),
+                format!("{} entry", self.multipass_iq),
+            ),
+            (
+                "Out-of-Order Scheduling Window".into(),
+                format!("{} entry", self.ooo_window),
+            ),
+            ("Out-of-Order Reorder Buffer".into(), format!("{} entry", self.ooo_rob)),
+            (
+                "Out-of-Order Scheduling and Renaming Stages".into(),
+                format!("{} additional stages", self.ooo_extra_stages),
+            ),
+            ("Out-of-Order Predicated Renaming".into(), "ideal".into()),
+        ]
+    }
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        Self::itanium2_base()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_table2() {
+        let c = MachineConfig::default();
+        assert_eq!(c.issue_width, 6);
+        assert_eq!(c.multipass_iq, 256);
+        assert_eq!(c.ooo_window, 128);
+        assert_eq!(c.ooo_rob, 256);
+        assert_eq!(c.ooo_extra_stages, 3);
+        assert_eq!(c.gshare_entries, 1024);
+        assert_eq!(c.hierarchy.max_outstanding, 16);
+    }
+
+    #[test]
+    fn table2_rows_render() {
+        let rows = MachineConfig::default().table2_rows();
+        assert!(rows.iter().any(|(k, v)| k == "L2 Cache" && v.contains("256KB")));
+        assert!(rows.iter().any(|(k, v)| k == "Main Memory" && v == "145 cycles"));
+    }
+
+    #[test]
+    fn with_hierarchy_swaps_caches() {
+        let c = MachineConfig::default().with_hierarchy(HierarchyConfig::config1());
+        assert_eq!(c.hierarchy.mm_latency, 200);
+        assert_eq!(c.issue_width, 6);
+    }
+}

@@ -1,0 +1,39 @@
+//! Shared cycle-level pipeline infrastructure for the flea-flicker
+//! simulator.
+//!
+//! Everything the four execution models (`ff-baselines`, `ff-multipass`)
+//! have in common lives here:
+//!
+//! * [`MachineConfig`] — the machine parameters of the paper's Table 2;
+//! * [`Scoreboard`] — per-register ready-cycle tracking with the *cause* of
+//!   each pending write, which drives the stall-attribution taxonomy of
+//!   Figure 6 (execution / front-end / other / load);
+//! * [`FuPool`] — runtime functional-unit arbitration (4 M / 2 I / 2 F /
+//!   3 B ports, six-issue, unpipelined dividers);
+//! * [`RunStats`] / [`StallKind`] — per-run statistics with the paper's
+//!   cycle-attribution categories;
+//! * [`Activity`] — per-structure access counters consumed by the Wattch
+//!   power models in `ff-power`;
+//! * [`DynTrace`] — a dynamic trace with dataflow and memory dependence
+//!   links, used by the trace-driven out-of-order timing models;
+//! * [`ExecutionModel`] — the trait every pipeline model implements, and
+//!   [`SimCase`]/[`RunResult`] — its input/output types.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod activity;
+pub mod config;
+pub mod fu;
+pub mod model;
+pub mod scoreboard;
+pub mod stats;
+pub mod trace;
+
+pub use activity::Activity;
+pub use config::MachineConfig;
+pub use fu::FuPool;
+pub use model::{ExecutionModel, RunResult, SimCase};
+pub use scoreboard::{operand_stall, PendingKind, Scoreboard};
+pub use stats::{RunStats, StallKind};
+pub use trace::{DynTrace, TraceInst};

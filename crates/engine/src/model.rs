@@ -1,0 +1,84 @@
+//! The execution-model interface shared by every pipeline.
+
+use ff_isa::{ArchState, MemoryImage, Program};
+use ff_mem::MemStats;
+
+use crate::activity::Activity;
+use crate::stats::RunStats;
+
+/// One simulation input: a compiled program plus its initial data memory.
+///
+/// Initial register values are established by setup code in the program's
+/// first blocks (the workload generators emit `MovImm` preludes); bulk data
+/// (arrays, linked structures) comes pre-loaded in `initial_mem`.
+#[derive(Clone, Debug)]
+pub struct SimCase<'a> {
+    /// The compiled program to run.
+    pub program: &'a Program,
+    /// Initial contents of data memory.
+    pub initial_mem: MemoryImage,
+    /// Safety cap on dynamic instructions (guards runaway programs).
+    pub max_insts: u64,
+}
+
+impl<'a> SimCase<'a> {
+    /// Creates a case with a default instruction budget.
+    pub fn new(program: &'a Program, initial_mem: MemoryImage) -> Self {
+        SimCase { program, initial_mem, max_insts: 200_000_000 }
+    }
+
+    /// The initial architectural state implied by this case.
+    pub fn initial_state(&self) -> ArchState {
+        let mut s = ArchState::new();
+        s.mem = self.initial_mem.clone();
+        s
+    }
+}
+
+/// Output of one simulation run.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// Cycle counts and attribution.
+    pub stats: RunStats,
+    /// Structure activity for the power models.
+    pub activity: Activity,
+    /// Memory-hierarchy counters.
+    pub mem_stats: MemStats,
+    /// Final architectural state — must be semantically equal to the golden
+    /// interpreter's for every model.
+    pub final_state: ArchState,
+}
+
+/// A cycle-level execution model (in-order, runahead, multipass,
+/// out-of-order).
+pub trait ExecutionModel {
+    /// Short name used in experiment output ("inorder", "MP", "OOO", ...).
+    fn name(&self) -> &'static str;
+
+    /// Simulates `case` to completion and returns the run's results.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if the program exceeds the case's instruction
+    /// budget or the configured cycle cap (indicating a malformed workload).
+    fn run(&mut self, case: &SimCase<'_>) -> RunResult;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ff_isa::{Inst, Op, Reg};
+
+    #[test]
+    fn initial_state_carries_memory() {
+        let mut p = Program::new();
+        let b = p.add_block();
+        p.push(b, Inst::new(Op::Halt));
+        let mut mem = MemoryImage::new();
+        mem.store(0x100, 7);
+        let case = SimCase::new(&p, mem);
+        let s = case.initial_state();
+        assert_eq!(s.mem.load(0x100), 7);
+        assert_eq!(s.read(Reg::int(5)), 0);
+    }
+}

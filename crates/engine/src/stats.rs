@@ -1,0 +1,257 @@
+//! Run statistics and the paper's stall-cycle taxonomy.
+
+use std::fmt;
+use std::ops::{Add, AddAssign};
+
+/// The four cycle-attribution categories of Figure 6.
+///
+/// Every simulated cycle is charged to exactly one category: *execution*
+/// when at least one instruction issues, otherwise the stall cause of the
+/// oldest unissued instruction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum StallKind {
+    /// Instructions are issuing without delay.
+    Execution,
+    /// Branch-misprediction flushes and instruction-cache misses (empty
+    /// instruction buffer).
+    FrontEnd,
+    /// Stalls on multiplies/divides/FP and other non-unit-latency results,
+    /// and on resource (FU/MSHR) conflicts.
+    Other,
+    /// Stalls on consumption of unready load results.
+    Load,
+}
+
+impl StallKind {
+    /// All categories in Figure 6's legend order.
+    pub const ALL: [StallKind; 4] =
+        [StallKind::Execution, StallKind::FrontEnd, StallKind::Other, StallKind::Load];
+}
+
+impl fmt::Display for StallKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StallKind::Execution => write!(f, "execution"),
+            StallKind::FrontEnd => write!(f, "front-end"),
+            StallKind::Other => write!(f, "other"),
+            StallKind::Load => write!(f, "load"),
+        }
+    }
+}
+
+/// Cycle breakdown across the four [`StallKind`] categories.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CycleBreakdown {
+    /// Cycles in which at least one instruction issued.
+    pub execution: u64,
+    /// Front-end stall cycles.
+    pub front_end: u64,
+    /// Non-load stall cycles (multi-cycle ops, resource conflicts).
+    pub other: u64,
+    /// Load-use stall cycles.
+    pub load: u64,
+}
+
+impl CycleBreakdown {
+    /// Charges one cycle to `kind`.
+    pub fn charge(&mut self, kind: StallKind) {
+        match kind {
+            StallKind::Execution => self.execution += 1,
+            StallKind::FrontEnd => self.front_end += 1,
+            StallKind::Other => self.other += 1,
+            StallKind::Load => self.load += 1,
+        }
+    }
+
+    /// Total cycles across all categories.
+    pub fn total(&self) -> u64 {
+        self.execution + self.front_end + self.other + self.load
+    }
+
+    /// Total stall (non-execution) cycles.
+    pub fn stall(&self) -> u64 {
+        self.front_end + self.other + self.load
+    }
+
+    /// The count for one category.
+    pub fn get(&self, kind: StallKind) -> u64 {
+        match kind {
+            StallKind::Execution => self.execution,
+            StallKind::FrontEnd => self.front_end,
+            StallKind::Other => self.other,
+            StallKind::Load => self.load,
+        }
+    }
+}
+
+impl Add for CycleBreakdown {
+    type Output = CycleBreakdown;
+    fn add(self, rhs: CycleBreakdown) -> CycleBreakdown {
+        CycleBreakdown {
+            execution: self.execution + rhs.execution,
+            front_end: self.front_end + rhs.front_end,
+            other: self.other + rhs.other,
+            load: self.load + rhs.load,
+        }
+    }
+}
+
+impl AddAssign for CycleBreakdown {
+    fn add_assign(&mut self, rhs: CycleBreakdown) {
+        *self = *self + rhs;
+    }
+}
+
+/// Statistics produced by one simulation run.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RunStats {
+    /// Total simulated cycles.
+    pub cycles: u64,
+    /// Architecturally retired instructions.
+    pub retired: u64,
+    /// Total instruction executions, *including* speculative re-executions
+    /// (runahead/advance work). `executions - retired` is wasted work.
+    pub executions: u64,
+    /// Cycle attribution (Figure 6 categories).
+    pub breakdown: CycleBreakdown,
+    /// Resolved conditional branches.
+    pub branches: u64,
+    /// Mispredicted branches.
+    pub mispredicts: u64,
+    /// Mispredicted branches resolved early by advance preexecution
+    /// (multipass front-end benefit).
+    pub early_resolved_mispredicts: u64,
+    /// Times the model entered a speculative (advance/runahead) mode.
+    pub spec_mode_entries: u64,
+    /// Advance-restart events (multipass §3.3).
+    pub advance_restarts: u64,
+    /// Cycles spent in advance/runahead mode.
+    pub spec_mode_cycles: u64,
+    /// Rally-mode cycles (multipass).
+    pub rally_cycles: u64,
+    /// Instructions whose rally/architectural execution was satisfied from
+    /// the result store without re-execution (multipass reuse).
+    pub rs_reuses: u64,
+    /// Value-misspeculation pipeline flushes (multipass §3.6).
+    pub value_flushes: u64,
+    /// Issue groups dynamically merged by regrouping (multipass §3.2).
+    pub regroup_merges: u64,
+}
+
+impl RunStats {
+    /// Instructions per cycle (retired).
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.retired as f64 / self.cycles as f64
+        }
+    }
+
+    /// Speedup of this run relative to `baseline` (same work assumed).
+    pub fn speedup_over(&self, baseline: &RunStats) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            baseline.cycles as f64 / self.cycles as f64
+        }
+    }
+
+    /// Branch misprediction rate.
+    pub fn mispredict_rate(&self) -> f64 {
+        if self.branches == 0 {
+            0.0
+        } else {
+            self.mispredicts as f64 / self.branches as f64
+        }
+    }
+}
+
+impl fmt::Display for RunStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} cycles, {} retired (IPC {:.2}); exec {} / front {} / other {} / load {}",
+            self.cycles,
+            self.retired,
+            self.ipc(),
+            self.breakdown.execution,
+            self.breakdown.front_end,
+            self.breakdown.other,
+            self.breakdown.load
+        )?;
+        if self.spec_mode_entries > 0 {
+            write!(
+                f,
+                "; {} advance episodes, {} restarts, {} reuses",
+                self.spec_mode_entries, self.advance_restarts, self.rs_reuses
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_compact_and_nonempty() {
+        let s = RunStats {
+            cycles: 100,
+            retired: 50,
+            spec_mode_entries: 2,
+            advance_restarts: 1,
+            rs_reuses: 9,
+            ..RunStats::default()
+        };
+        let t = s.to_string();
+        assert!(t.contains("100 cycles"));
+        assert!(t.contains("2 advance episodes"));
+        let plain = RunStats { cycles: 10, retired: 5, ..RunStats::default() };
+        assert!(!plain.to_string().contains("advance"));
+    }
+
+    #[test]
+    fn breakdown_charges_and_totals() {
+        let mut b = CycleBreakdown::default();
+        b.charge(StallKind::Execution);
+        b.charge(StallKind::Execution);
+        b.charge(StallKind::Load);
+        b.charge(StallKind::FrontEnd);
+        b.charge(StallKind::Other);
+        assert_eq!(b.total(), 5);
+        assert_eq!(b.stall(), 3);
+        assert_eq!(b.get(StallKind::Execution), 2);
+        assert_eq!(b.get(StallKind::Load), 1);
+    }
+
+    #[test]
+    fn breakdown_addition() {
+        let mut a = CycleBreakdown { execution: 1, front_end: 2, other: 3, load: 4 };
+        let b = CycleBreakdown { execution: 10, front_end: 20, other: 30, load: 40 };
+        a += b;
+        assert_eq!(a.total(), 110);
+    }
+
+    #[test]
+    fn ipc_and_speedup() {
+        let a = RunStats { cycles: 100, retired: 150, ..RunStats::default() };
+        let b = RunStats { cycles: 200, retired: 150, ..RunStats::default() };
+        assert!((a.ipc() - 1.5).abs() < 1e-12);
+        assert!((a.speedup_over(&b) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_cycle_guards() {
+        let z = RunStats::default();
+        assert_eq!(z.ipc(), 0.0);
+        assert_eq!(z.mispredict_rate(), 0.0);
+    }
+
+    #[test]
+    fn stall_kind_display() {
+        assert_eq!(StallKind::FrontEnd.to_string(), "front-end");
+        assert_eq!(StallKind::ALL.len(), 4);
+    }
+}

@@ -1,0 +1,28 @@
+//! Experiment harness reproducing every table and figure of the paper.
+//!
+//! | Paper artifact | Function | Bench target |
+//! |---|---|---|
+//! | Table 1 (power ratios) | [`table1_experiment`] | `table1_power` |
+//! | Table 2 (machine config) | [`table2`] | `table2_config` |
+//! | Figure 6 (cycle breakdown, base/MP/OOO) | [`figure6`] | `figure6_cycles` |
+//! | Figure 7 (cache-hierarchy sweep) | [`figure7`] | `figure7_hierarchies` |
+//! | Figure 8 (regrouping/restart ablation) | [`figure8`] | `figure8_ablation` |
+//! | §5.2 realistic OOO comparison | [`realistic_ooo`] | `realistic_ooo` |
+//! | §5.4 Dundas–Mudge comparison | [`runahead_compare`] | `runahead_compare` |
+//!
+//! All experiments run through a memoizing [`Suite`] so shared baselines
+//! are simulated once.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod csv;
+pub mod figures;
+pub mod render;
+pub mod suite;
+
+pub use figures::{
+    figure6, figure7, figure8, realistic_ooo, runahead_compare, table1_experiment, table2,
+    Figure6, Figure7, Figure8, RealisticOooResult, RunaheadResult,
+};
+pub use suite::{HierKind, ModelKind, Suite};

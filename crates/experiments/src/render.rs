@@ -1,0 +1,174 @@
+//! Text rendering of experiment results in the paper's layout.
+
+use crate::figures::{Figure6, Figure6Row, Figure7, Figure8, RealisticOooResult, RunaheadResult};
+
+/// Renders Figure 6 as per-benchmark stacked-bar rows (execution /
+/// front-end / other / load), normalized to the baseline.
+pub fn figure6(f: &Figure6) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<8} {:<6} {:>7} {:>7} {:>7} {:>7} {:>8}\n",
+        "bench", "model", "exec", "front", "other", "load", "total"
+    ));
+    for r in &f.rows {
+        for (model, b) in [("base", &r.base), ("MP", &r.mp), ("OOO", &r.ooo)] {
+            out.push_str(&format!(
+                "{:<8} {:<6} {:>7.3} {:>7.3} {:>7.3} {:>7.3} {:>8.3}\n",
+                r.bench,
+                model,
+                b[0],
+                b[1],
+                b[2],
+                b[3],
+                Figure6Row::total(b)
+            ));
+        }
+    }
+    out.push_str(&format!(
+        "\nmean MP speedup over base: {:.2}x  (paper: 1.36x)\n",
+        f.mp_speedup()
+    ));
+    out.push_str(&format!(
+        "mean OOO speedup over MP:  {:.2}x  (paper: 1.14x)\n",
+        f.ooo_over_mp()
+    ));
+    out.push_str(&format!(
+        "mean MP stall reduction:   {:.0}%  (paper: 49%)\n",
+        100.0 * f.mp_stall_reduction()
+    ));
+    out.push_str(&format!(
+        "mcf load-stall reduction:  {:.0}%  (paper: 56%)\n",
+        100.0 * f.load_stall_reduction("mcf")
+    ));
+    out
+}
+
+/// Renders Figure 6 as ASCII stacked bars (execution `#`, front-end `%`,
+/// other `o`, load `.`), 50 columns per normalized-baseline unit — a
+/// terminal rendition of the paper's stacked-bar figure.
+pub fn figure6_bars(f: &Figure6) -> String {
+    const COLS: f64 = 50.0;
+    let mut out = String::new();
+    out.push_str("legend: # execution, % front-end, o other, . load (50 cols = baseline)\n\n");
+    for r in &f.rows {
+        for (model, b) in [("base", &r.base), ("MP", &r.mp), ("OOO", &r.ooo)] {
+            let mut bar = String::new();
+            for (ch, v) in [('#', b[0]), ('%', b[1]), ('o', b[2]), ('.', b[3])] {
+                let n = (v * COLS).round() as usize;
+                bar.extend(std::iter::repeat_n(ch, n));
+            }
+            out.push_str(&format!(
+                "{:<8} {:<5}|{:<52}| {:.3}\n",
+                if model == "base" { r.bench } else { "" },
+                model,
+                bar,
+                Figure6Row::total(b)
+            ));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders Figure 7 speedups per hierarchy.
+pub fn figure7(f: &Figure7) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{:<8}", "bench"));
+    for c in &f.configs {
+        out.push_str(&format!(" {:>9} {:>9}", format!("MP/{}", c.name), format!("OOO/{}", c.name)));
+    }
+    out.push('\n');
+    let n = f.configs[0].rows.len();
+    for i in 0..n {
+        out.push_str(&format!("{:<8}", f.configs[0].rows[i].0));
+        for c in &f.configs {
+            out.push_str(&format!(" {:>9.2} {:>9.2}", c.rows[i].1, c.rows[i].2));
+        }
+        out.push('\n');
+    }
+    out.push_str(&format!("{:<8}", "mean"));
+    for c in &f.configs {
+        out.push_str(&format!(" {:>9.2} {:>9.2}", c.mean_mp(), c.mean_ooo()));
+    }
+    out.push('\n');
+    out.push_str("OOO:MP gap per config (paper: narrows with restrictive hierarchies): ");
+    for c in &f.configs {
+        out.push_str(&format!("{}={:.3} ", c.name, c.gap()));
+    }
+    out.push('\n');
+    out
+}
+
+/// Renders Figure 8 ablation percentages.
+pub fn figure8(f: &Figure8) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<8} {:>22} {:>22}\n",
+        "bench", "% speedup w/o regroup", "% speedup w/o restart"
+    ));
+    for (bench, nr, ns) in &f.rows {
+        out.push_str(&format!("{bench:<8} {nr:>22.0} {ns:>22.0}\n"));
+    }
+    out
+}
+
+/// Renders the §5.2 realistic-OOO comparison.
+pub fn realistic_ooo(r: &RealisticOooResult) -> String {
+    let mut out = String::new();
+    out.push_str("MP speedup over realistic (3x16-entry) OOO (paper: 1.05x mean)\n");
+    for (bench, s) in &r.rows {
+        out.push_str(&format!("{bench:<8} {s:>6.2}x\n"));
+    }
+    out.push_str(&format!("{:<8} {:>6.2}x\n", "mean", r.mean()));
+    out
+}
+
+/// Renders the §5.4 runahead comparison.
+pub fn runahead(r: &RunaheadResult) -> String {
+    let mut out = String::new();
+    out.push_str("Cycle reduction vs in-order (paper: runahead ~half of multipass)\n");
+    out.push_str(&format!("{:<8} {:>10} {:>10}\n", "bench", "runahead", "multipass"));
+    for (bench, ra, mp) in &r.rows {
+        out.push_str(&format!("{bench:<8} {:>9.1}% {:>9.1}%\n", 100.0 * ra, 100.0 * mp));
+    }
+    out.push_str(&format!(
+        "runahead/multipass reduction ratio: {:.2} (paper: ~0.5)\n",
+        r.reduction_ratio()
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figures;
+    use crate::suite::Suite;
+    use ff_workloads::Scale;
+
+    #[test]
+    fn renderers_produce_tables() {
+        let mut s = Suite::new(Scale::Test);
+        let f6 = figures::figure6(&mut s);
+        let t = figure6(&f6);
+        assert!(t.contains("mcf"));
+        assert!(t.contains("mean MP speedup"));
+        let f8 = figures::figure8(&mut s);
+        assert!(figure8(&f8).contains("restart"));
+        let ra = figures::runahead_compare(&mut s);
+        assert!(runahead(&ra).contains("ratio"));
+    }
+
+    #[test]
+    fn ascii_bars_scale_with_totals() {
+        let mut s = Suite::new(Scale::Test);
+        let f6 = figures::figure6(&mut s);
+        let bars = figure6_bars(&f6);
+        assert!(bars.contains("legend"));
+        // Every baseline bar is ~50 columns of glyphs.
+        for line in bars.lines().filter(|l| l.contains("base |")) {
+            let bar = line.split('|').nth(1).unwrap();
+            let glyphs = bar.chars().filter(|c| !c.is_whitespace()).count();
+            assert!((48..=52).contains(&glyphs), "bad baseline bar: {line}");
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! Memoized simulation suite: (model, hierarchy, benchmark) → results.
+
+use std::collections::HashMap;
+
+use ff_baselines::{InOrder, OutOfOrder, Runahead};
+use ff_engine::{ExecutionModel, MachineConfig, RunResult, SimCase};
+use ff_mem::HierarchyConfig;
+use ff_multipass::{Multipass, MultipassConfig};
+use ff_workloads::{Scale, Workload};
+
+/// Which execution model to run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ModelKind {
+    /// Baseline in-order EPIC pipeline.
+    InOrder,
+    /// Dundas–Mudge runahead.
+    Runahead,
+    /// Idealized out-of-order (Figure 6's OOO).
+    Ooo,
+    /// Realistic decentralized out-of-order (§5.2).
+    OooRealistic,
+    /// Full multipass pipeline.
+    Multipass,
+    /// Multipass without issue regrouping (Figure 8).
+    MpNoRegroup,
+    /// Multipass without advance restart (Figure 8).
+    MpNoRestart,
+}
+
+/// Which cache hierarchy to use (Figure 7).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum HierKind {
+    /// Table 2 base hierarchy.
+    Base,
+    /// Base with 200-cycle main memory.
+    Config1,
+    /// Smaller, slower hierarchy (8 KB L1 / 128 KB 7-cycle L2 /
+    /// 1.5 MB 16-cycle L3 / 200-cycle memory).
+    Config2,
+}
+
+impl HierKind {
+    /// The concrete hierarchy configuration.
+    pub fn config(self) -> HierarchyConfig {
+        match self {
+            HierKind::Base => HierarchyConfig::itanium2_base(),
+            HierKind::Config1 => HierarchyConfig::config1(),
+            HierKind::Config2 => HierarchyConfig::config2(),
+        }
+    }
+
+    /// Display name used in Figure 7 output.
+    pub fn name(self) -> &'static str {
+        match self {
+            HierKind::Base => "base",
+            HierKind::Config1 => "config1",
+            HierKind::Config2 => "config2",
+        }
+    }
+}
+
+/// A memoizing simulation driver over the twelve workloads.
+pub struct Suite {
+    workloads: Vec<Workload>,
+    cache: HashMap<(ModelKind, HierKind, &'static str), RunResult>,
+}
+
+impl Suite {
+    /// Generates the workload set at `scale`.
+    pub fn new(scale: Scale) -> Self {
+        Suite { workloads: Workload::all(scale), cache: HashMap::new() }
+    }
+
+    /// Benchmark names in presentation order.
+    pub fn benchmarks(&self) -> Vec<&'static str> {
+        self.workloads.iter().map(|w| w.name).collect()
+    }
+
+    /// The workload with the given name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is not one of the twelve benchmarks.
+    pub fn workload(&self, name: &str) -> &Workload {
+        self.workloads.iter().find(|w| w.name == name).expect("unknown benchmark")
+    }
+
+    /// Runs (or returns the memoized result of) one simulation.
+    pub fn run(&mut self, model: ModelKind, hier: HierKind, bench: &'static str) -> &RunResult {
+        if !self.cache.contains_key(&(model, hier, bench)) {
+            let machine = MachineConfig::itanium2_base().with_hierarchy(hier.config());
+            let w = self.workload(bench);
+            let case = SimCase::new(&w.program, w.mem.clone());
+            let result = match model {
+                ModelKind::InOrder => InOrder::new(machine).run(&case),
+                ModelKind::Runahead => Runahead::new(machine).run(&case),
+                ModelKind::Ooo => OutOfOrder::new(machine).run(&case),
+                ModelKind::OooRealistic => OutOfOrder::realistic(machine).run(&case),
+                ModelKind::Multipass => Multipass::new(machine).run(&case),
+                ModelKind::MpNoRegroup => {
+                    Multipass::with_config(MultipassConfig::without_regrouping(machine)).run(&case)
+                }
+                ModelKind::MpNoRestart => {
+                    Multipass::with_config(MultipassConfig::without_restart(machine)).run(&case)
+                }
+            };
+            self.cache.insert((model, hier, bench), result);
+        }
+        &self.cache[&(model, hier, bench)]
+    }
+
+    /// Convenience: cycles of one run.
+    pub fn cycles(&mut self, model: ModelKind, hier: HierKind, bench: &'static str) -> u64 {
+        self.run(model, hier, bench).stats.cycles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memoization_returns_identical_results() {
+        let mut s = Suite::new(Scale::Test);
+        let a = s.run(ModelKind::InOrder, HierKind::Base, "mesa").stats.cycles;
+        let b = s.run(ModelKind::InOrder, HierKind::Base, "mesa").stats.cycles;
+        assert_eq!(a, b);
+        assert_eq!(s.cache.len(), 1);
+    }
+
+    #[test]
+    fn all_models_agree_on_final_state() {
+        let mut s = Suite::new(Scale::Test);
+        for model in [
+            ModelKind::InOrder,
+            ModelKind::Runahead,
+            ModelKind::Ooo,
+            ModelKind::OooRealistic,
+            ModelKind::Multipass,
+            ModelKind::MpNoRegroup,
+            ModelKind::MpNoRestart,
+        ] {
+            let base = s.run(ModelKind::InOrder, HierKind::Base, "gap").final_state.clone();
+            let other = s.run(model, HierKind::Base, "gap").final_state.clone();
+            assert!(base.semantically_eq(&other), "{model:?} diverges on gap");
+        }
+    }
+
+    #[test]
+    fn hierarchies_change_timing_not_results() {
+        let mut s = Suite::new(Scale::Test);
+        let base = s.run(ModelKind::Multipass, HierKind::Base, "vpr").clone();
+        let slow = s.run(ModelKind::Multipass, HierKind::Config2, "vpr").clone();
+        assert!(base.final_state.semantically_eq(&slow.final_state));
+        assert!(slow.stats.cycles >= base.stats.cycles, "slower hierarchy, fewer cycles?");
+    }
+}

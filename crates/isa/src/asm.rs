@@ -1,0 +1,346 @@
+//! A small text assembler for the EPIC ISA.
+//!
+//! The syntax is exactly the [`crate::Program`] `Display` output, so
+//! disassembly and assembly round-trip:
+//!
+//! ```text
+//! B0:
+//!     movimm r1 = #4096
+//!     movimm r2 = #100 ;;
+//! B1:
+//!     load r4 = r1 @0
+//!     (p2) add r3 = r3 r4
+//!     addimm r2 = r2 #-1 ;;
+//!     cmpne p1 = r2 r0
+//!     (p1) br B1 ;;
+//! B2:
+//!     halt ;;
+//! ```
+//!
+//! * `BN:` starts basic block `N` (blocks must appear in ascending order,
+//!   starting from 0);
+//! * `(pN)` is the qualifying predicate;
+//! * `dst =` names the destination register;
+//! * `#imm` is the immediate; `@N` the alias region; `;;` the stop bit;
+//! * `//` and `;` (single) comments run to end of line.
+//!
+//! # Example
+//!
+//! ```
+//! use ff_isa::asm::parse_program;
+//! let p = parse_program("B0:\n  movimm r1 = #7\n  halt ;;\n").unwrap();
+//! assert_eq!(p.num_insts(), 2);
+//! // Round trip.
+//! let again = parse_program(&p.to_string()).unwrap();
+//! assert_eq!(p, again);
+//! ```
+
+use std::fmt;
+
+use crate::inst::Inst;
+use crate::op::Op;
+use crate::program::{BlockId, Program};
+use crate::reg::Reg;
+
+/// Error produced when assembling fails.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseAsmError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseAsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseAsmError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseAsmError {
+    ParseAsmError { line, message: message.into() }
+}
+
+fn parse_reg(tok: &str, line: usize) -> Result<Reg, ParseAsmError> {
+    let (class, idx) = tok.split_at(1);
+    let index: u8 = idx
+        .parse()
+        .map_err(|_| err(line, format!("bad register index in `{tok}`")))?;
+    match class {
+        "r" if (index as usize) < crate::reg::NUM_INT_REGS => Ok(Reg::int(index)),
+        "f" if (index as usize) < crate::reg::NUM_FP_REGS => Ok(Reg::fp(index)),
+        "p" if (index as usize) < crate::reg::NUM_PRED_REGS => Ok(Reg::pred(index)),
+        _ => Err(err(line, format!("unknown register `{tok}`"))),
+    }
+}
+
+fn parse_op(tok: &str, target: Option<&str>, line: usize) -> Result<Op, ParseAsmError> {
+    Ok(match tok {
+        "add" => Op::Add,
+        "sub" => Op::Sub,
+        "and" => Op::And,
+        "or" => Op::Or,
+        "xor" => Op::Xor,
+        "shl" => Op::Shl,
+        "shr" => Op::Shr,
+        "addimm" => Op::AddImm,
+        "movimm" => Op::MovImm,
+        "cmpeq" => Op::CmpEq,
+        "cmplt" => Op::CmpLt,
+        "cmpne" => Op::CmpNe,
+        "mul" => Op::Mul,
+        "div" => Op::Div,
+        "fadd" => Op::FAdd,
+        "fmul" => Op::FMul,
+        "fdiv" => Op::FDiv,
+        "fcvt" => Op::FCvt,
+        "load" => Op::Load,
+        "loadfp" => Op::LoadFp,
+        "store" => Op::Store,
+        "halt" => Op::Halt,
+        "restart" => Op::Restart,
+        "nop" => Op::Nop,
+        "br" => {
+            let t = target.ok_or_else(|| err(line, "`br` needs a target like `B3`"))?;
+            let n: u32 = t
+                .strip_prefix('B')
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| err(line, format!("bad branch target `{t}`")))?;
+            Op::Br { target: BlockId(n) }
+        }
+        other => return Err(err(line, format!("unknown opcode `{other}`"))),
+    })
+}
+
+/// Assembles a program from its textual form.
+///
+/// # Errors
+///
+/// Returns a [`ParseAsmError`] naming the offending line for unknown
+/// opcodes or registers, malformed block headers, out-of-order blocks, or
+/// instructions outside any block.
+pub fn parse_program(text: &str) -> Result<Program, ParseAsmError> {
+    let mut program = Program::new();
+    let mut current: Option<BlockId> = None;
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = lineno + 1;
+        // Strip comments: `//` always; `;` only when not part of `;;`.
+        let mut code = raw;
+        if let Some(i) = code.find("//") {
+            code = &code[..i];
+        }
+        let code = code.trim();
+        if code.is_empty() {
+            continue;
+        }
+
+        // Block header?
+        if let Some(rest) = code.strip_prefix('B') {
+            if let Some(numpart) = rest.strip_suffix(':') {
+                let n: u32 = numpart
+                    .parse()
+                    .map_err(|_| err(line, format!("bad block header `{code}`")))?;
+                if n as usize != program.num_blocks() {
+                    return Err(err(
+                        line,
+                        format!(
+                            "block B{n} out of order (expected B{})",
+                            program.num_blocks()
+                        ),
+                    ));
+                }
+                current = Some(program.add_block());
+                continue;
+            }
+        }
+
+        let block = current.ok_or_else(|| err(line, "instruction before any block header"))?;
+
+        // Tokenize.
+        let mut toks: Vec<&str> = code.split_whitespace().collect();
+        let mut inst_stop = false;
+        if toks.last() == Some(&";;") {
+            inst_stop = true;
+            toks.pop();
+        }
+        let mut i = 0;
+        // Qualifying predicate.
+        let mut qp: Option<Reg> = None;
+        if let Some(t) = toks.first() {
+            if let Some(p) = t.strip_prefix('(').and_then(|x| x.strip_suffix(')')) {
+                qp = Some(parse_reg(p, line)?);
+                i += 1;
+            }
+        }
+        let op_tok = *toks.get(i).ok_or_else(|| err(line, "missing opcode"))?;
+        i += 1;
+        let br_target = if op_tok == "br" {
+            let t = *toks.get(i).ok_or_else(|| err(line, "missing branch target"))?;
+            i += 1;
+            Some(t)
+        } else {
+            None
+        };
+        let op = parse_op(op_tok, br_target, line)?;
+        let mut inst = Inst::new(op);
+        if let Some(q) = qp {
+            inst = inst.qp(q);
+        }
+
+        // Destination: `reg =`.
+        if toks.get(i + 1) == Some(&"=") {
+            inst = inst.dst(parse_reg(toks[i], line)?);
+            i += 2;
+        }
+        // Sources / immediate / region.
+        while i < toks.len() {
+            let t = toks[i];
+            if let Some(immtok) = t.strip_prefix('#') {
+                let v: i64 = immtok
+                    .parse()
+                    .map_err(|_| err(line, format!("bad immediate `{t}`")))?;
+                inst = inst.imm(v);
+            } else if let Some(rtok) = t.strip_prefix('@') {
+                let v: u16 = rtok
+                    .parse()
+                    .map_err(|_| err(line, format!("bad alias region `{t}`")))?;
+                inst = inst.region(v);
+            } else {
+                inst = inst.src(parse_reg(t, line)?);
+            }
+            i += 1;
+        }
+        if inst_stop {
+            inst = inst.stop();
+        }
+        program.push(block, inst);
+    }
+    Ok(program)
+}
+
+impl std::str::FromStr for Program {
+    type Err = ParseAsmError;
+
+    /// Parses the textual assembly form (see [`parse_program`]).
+    ///
+    /// ```
+    /// use ff_isa::Program;
+    /// let p: Program = "B0:\n  nop\n  halt ;;\n".parse().unwrap();
+    /// assert_eq!(p.num_insts(), 2);
+    /// ```
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        parse_program(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::Interpreter;
+
+    const LOOP_ASM: &str = "
+B0:
+    movimm r1 = #4096
+    movimm r2 = #10 ;;
+B1:
+    load r4 = r1 @0
+    add r3 = r3 r4
+    addimm r1 = r1 #8
+    addimm r2 = r2 #-1 ;;
+    cmpne p1 = r2 r0 ;;
+    (p1) br B1 ;;
+B2:
+    halt ;;
+";
+
+    #[test]
+    fn parses_and_runs_a_loop() {
+        let p = parse_program(LOOP_ASM).expect("valid asm");
+        assert!(p.validate().is_ok());
+        let mut st = crate::ArchState::new();
+        for i in 0..10u64 {
+            st.mem.store(4096 + i * 8, i + 1);
+        }
+        let mut interp = Interpreter::with_state(&p, st);
+        interp.run(10_000).unwrap();
+        assert_eq!(interp.state().int(3), 55);
+    }
+
+    #[test]
+    fn round_trips_display_output() {
+        let p = parse_program(LOOP_ASM).unwrap();
+        let text = p.to_string();
+        let again = parse_program(&text).expect("disassembly reassembles");
+        assert_eq!(p, again);
+    }
+
+    #[test]
+    fn parses_every_opcode() {
+        let all = "
+B0:
+    add r1 = r2 r3
+    sub r1 = r2 r3
+    and r1 = r2 r3
+    or r1 = r2 r3
+    xor r1 = r2 r3
+    shl r1 = r2 #3
+    shr r1 = r2 #3
+    addimm r1 = r2 #-5
+    movimm r1 = #9
+    cmpeq p1 = r1 r2
+    cmplt p1 = r1 r2
+    cmpne p1 = r1 r2
+    mul r1 = r2 r3
+    div r1 = r2 r3
+    fadd f1 = f2 f3
+    fmul f1 = f2 f3
+    fdiv f1 = f2 f3
+    fcvt r1 = f2
+    load r1 = r2 #8 @1
+    loadfp f1 = r2
+    store r1 r2 #16 @1
+    restart r1
+    nop
+    br B1
+B1:
+    halt ;;
+";
+        let p = parse_program(all).expect("all opcodes parse");
+        assert_eq!(p.num_insts(), 25);
+        let again = parse_program(&p.to_string()).unwrap();
+        assert_eq!(p, again);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let p = parse_program("// header\nB0:\n\n  nop // trailing\n  halt ;;\n").unwrap();
+        assert_eq!(p.num_insts(), 2);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = parse_program("B0:\n  frobnicate r1\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("frobnicate"));
+        let e = parse_program("  nop\n").unwrap_err();
+        assert_eq!(e.line, 1);
+        let e = parse_program("B1:\n").unwrap_err();
+        assert!(e.message.contains("out of order"));
+        let e = parse_program("B0:\n  add r1 = r200 r2\n").unwrap_err();
+        assert!(e.message.contains("r200"));
+        let e = parse_program("B0:\n  br Bx\n").unwrap_err();
+        assert!(e.message.contains("Bx"));
+    }
+
+    #[test]
+    fn predication_and_stop_round_trip() {
+        let p = parse_program("B0:\n  (p3) add r1 = r2 r3 ;;\n  halt ;;\n").unwrap();
+        let b = p.block(BlockId(0)).unwrap();
+        assert!(b[0].is_predicated());
+        assert!(b[0].ends_group());
+        assert_eq!(parse_program(&p.to_string()).unwrap(), p);
+    }
+}

@@ -1,0 +1,274 @@
+//! Golden functional interpreter.
+//!
+//! [`Interpreter`] executes a [`Program`] with no timing model at all. Every
+//! cycle-level pipeline in the workspace must finish in an architectural
+//! state [`ArchState::semantically_eq`] to the interpreter's — this is the
+//! primary correctness oracle of the repository.
+
+use std::fmt;
+
+use crate::eval::{alu, branch_taken, effective_address};
+use crate::op::Op;
+use crate::program::{Pc, Program};
+use crate::state::ArchState;
+
+/// Why an interpreter run stopped.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StopReason {
+    /// A `Halt` instruction executed.
+    Halted,
+    /// The step budget was exhausted before `Halt`.
+    OutOfFuel,
+}
+
+/// Error produced when the interpreted program is malformed at run time.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum InterpretError {
+    /// Control reached a pc with no instruction (fell off the program).
+    InvalidPc(Pc),
+}
+
+impl fmt::Display for InterpretError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InterpretError::InvalidPc(pc) => write!(f, "control reached invalid pc {pc}"),
+        }
+    }
+}
+
+impl std::error::Error for InterpretError {}
+
+/// A straightforward fetch–execute interpreter over a [`Program`].
+///
+/// # Examples
+///
+/// ```
+/// use ff_isa::{Inst, Op, Program, Reg, interp::Interpreter};
+/// let mut p = Program::new();
+/// let b = p.add_block();
+/// p.push(b, Inst::new(Op::MovImm).dst(Reg::int(1)).imm(5));
+/// p.push(b, Inst::new(Op::Halt));
+/// let mut i = Interpreter::new(&p);
+/// i.run(100).unwrap();
+/// assert_eq!(i.state().int(1), 5);
+/// ```
+#[derive(Debug)]
+pub struct Interpreter<'a> {
+    program: &'a Program,
+    state: ArchState,
+    pc: Option<Pc>,
+    retired: u64,
+    halted: bool,
+}
+
+impl<'a> Interpreter<'a> {
+    /// Creates an interpreter positioned at the program entry with zeroed
+    /// architectural state.
+    pub fn new(program: &'a Program) -> Self {
+        Self::with_state(program, ArchState::new())
+    }
+
+    /// Creates an interpreter with a pre-initialized architectural state
+    /// (e.g. a workload's data memory image).
+    pub fn with_state(program: &'a Program, state: ArchState) -> Self {
+        Interpreter {
+            program,
+            state,
+            pc: program.first_pc_from(crate::program::BlockId(0)),
+            retired: 0,
+            halted: false,
+        }
+    }
+
+    /// The current architectural state.
+    pub fn state(&self) -> &ArchState {
+        &self.state
+    }
+
+    /// Consumes the interpreter, returning the final architectural state.
+    pub fn into_state(self) -> ArchState {
+        self.state
+    }
+
+    /// Dynamic instructions retired so far (predicated-false instructions
+    /// count: they occupy the dynamic stream).
+    pub fn retired(&self) -> u64 {
+        self.retired
+    }
+
+    /// Whether a `Halt` has executed.
+    pub fn is_halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Executes one dynamic instruction.
+    ///
+    /// Returns `Ok(true)` if the program is still running, `Ok(false)` once
+    /// halted.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InterpretError::InvalidPc`] if control escapes the program
+    /// (which [`Program::validate`] rules out for well-formed programs).
+    pub fn step(&mut self) -> Result<bool, InterpretError> {
+        if self.halted {
+            return Ok(false);
+        }
+        let pc = match self.pc {
+            Some(pc) => pc,
+            None => return Err(InterpretError::InvalidPc(Pc::new(crate::program::BlockId(u32::MAX), 0))),
+        };
+        let inst = self.program.inst(pc).ok_or(InterpretError::InvalidPc(pc))?;
+        let qp = self.state.read(inst.qp_reg()) != 0;
+        let mut next = self.program.next_pc(pc);
+        if qp {
+            match inst.op() {
+                Op::Halt => {
+                    self.halted = true;
+                    self.retired += 1;
+                    return Ok(false);
+                }
+                Op::Br { target } => {
+                    if branch_taken(qp) {
+                        next = self.program.first_pc_from(*target);
+                    }
+                }
+                Op::Load | Op::LoadFp => {
+                    let base = self.state.read(inst.src_n(0).expect("load has base"));
+                    let addr = effective_address(base, inst.imm_val());
+                    let v = self.state.mem.load(addr);
+                    if let Some(d) = inst.writes() {
+                        self.state.write(d, v);
+                    }
+                }
+                Op::Store => {
+                    let base = self.state.read(inst.src_n(0).expect("store has base"));
+                    let data = self.state.read(inst.src_n(1).expect("store has data"));
+                    let addr = effective_address(base, inst.imm_val());
+                    self.state.mem.store(addr, data);
+                }
+                Op::Nop | Op::Restart => {}
+                op => {
+                    let a = inst.src_n(0).map(|r| self.state.read(r)).unwrap_or(0);
+                    let b = inst.src_n(1).map(|r| self.state.read(r)).unwrap_or(0);
+                    let v = alu(op, a, b, inst.imm_val());
+                    if let Some(d) = inst.writes() {
+                        self.state.write(d, v);
+                    }
+                }
+            }
+        }
+        self.retired += 1;
+        self.pc = next;
+        if self.pc.is_none() {
+            // Only reachable for invalid programs; surface it on next step.
+            self.pc = Some(Pc::new(crate::program::BlockId(u32::MAX), 0));
+        }
+        Ok(true)
+    }
+
+    /// Runs until `Halt` or until `fuel` dynamic instructions have executed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`InterpretError`] from [`Interpreter::step`].
+    pub fn run(&mut self, fuel: u64) -> Result<StopReason, InterpretError> {
+        for _ in 0..fuel {
+            if !self.step()? {
+                return Ok(StopReason::Halted);
+            }
+        }
+        Ok(if self.halted { StopReason::Halted } else { StopReason::OutOfFuel })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::Inst;
+    use crate::reg::Reg;
+
+    /// Loop: r1 = 10; r2 = 0; do { r2 += r1; r1 -= 1 } while (r1 != 0)
+    fn loop_program() -> Program {
+        let mut p = Program::new();
+        let b0 = p.add_block();
+        let b1 = p.add_block();
+        let b2 = p.add_block();
+        p.push(b0, Inst::new(Op::MovImm).dst(Reg::int(1)).imm(10));
+        p.push(b0, Inst::new(Op::MovImm).dst(Reg::int(2)).imm(0));
+        p.push(b1, Inst::new(Op::Add).dst(Reg::int(2)).src(Reg::int(2)).src(Reg::int(1)));
+        p.push(b1, Inst::new(Op::AddImm).dst(Reg::int(1)).src(Reg::int(1)).imm(-1));
+        p.push(b1, Inst::new(Op::CmpNe).dst(Reg::pred(1)).src(Reg::int(1)).src(Reg::int(0)));
+        p.push(b1, Inst::new(Op::Br { target: b1 }).qp(Reg::pred(1)));
+        p.push(b2, Inst::new(Op::Halt));
+        p
+    }
+
+    #[test]
+    fn loop_sums_correctly() {
+        let p = loop_program();
+        assert!(p.validate().is_ok());
+        let mut i = Interpreter::new(&p);
+        assert_eq!(i.run(10_000).unwrap(), StopReason::Halted);
+        assert_eq!(i.state().int(2), 55);
+        assert_eq!(i.state().int(1), 0);
+    }
+
+    #[test]
+    fn fuel_limits_execution() {
+        let p = loop_program();
+        let mut i = Interpreter::new(&p);
+        assert_eq!(i.run(3).unwrap(), StopReason::OutOfFuel);
+        assert!(!i.is_halted());
+        assert_eq!(i.retired(), 3);
+    }
+
+    #[test]
+    fn memory_ops_round_trip() {
+        let mut p = Program::new();
+        let b = p.add_block();
+        p.push(b, Inst::new(Op::MovImm).dst(Reg::int(1)).imm(0x2000));
+        p.push(b, Inst::new(Op::MovImm).dst(Reg::int(2)).imm(77));
+        p.push(b, Inst::new(Op::Store).src(Reg::int(1)).src(Reg::int(2)).imm(8));
+        p.push(b, Inst::new(Op::Load).dst(Reg::int(3)).src(Reg::int(1)).imm(8));
+        p.push(b, Inst::new(Op::Halt));
+        let mut i = Interpreter::new(&p);
+        i.run(100).unwrap();
+        assert_eq!(i.state().int(3), 77);
+        assert_eq!(i.state().mem.load(0x2008), 77);
+    }
+
+    #[test]
+    fn predicated_false_is_noop_but_retires() {
+        let mut p = Program::new();
+        let b = p.add_block();
+        // p1 stays false, so the guarded write must not happen.
+        p.push(b, Inst::new(Op::MovImm).dst(Reg::int(1)).imm(1).qp(Reg::pred(1)));
+        p.push(b, Inst::new(Op::Halt));
+        let mut i = Interpreter::new(&p);
+        i.run(10).unwrap();
+        assert_eq!(i.state().int(1), 0);
+        assert_eq!(i.retired(), 2);
+    }
+
+    #[test]
+    fn restart_is_architectural_noop() {
+        let mut p = Program::new();
+        let b = p.add_block();
+        p.push(b, Inst::new(Op::MovImm).dst(Reg::int(1)).imm(4));
+        p.push(b, Inst::new(Op::Restart).src(Reg::int(1)));
+        p.push(b, Inst::new(Op::Halt));
+        let mut i = Interpreter::new(&p);
+        i.run(10).unwrap();
+        assert_eq!(i.state().int(1), 4);
+        assert!(i.is_halted());
+    }
+
+    #[test]
+    fn step_after_halt_is_false() {
+        let p = loop_program();
+        let mut i = Interpreter::new(&p);
+        i.run(10_000).unwrap();
+        assert!(!i.step().unwrap());
+    }
+}

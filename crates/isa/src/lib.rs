@@ -1,0 +1,54 @@
+//! EPIC instruction set architecture for the flea-flicker multipass
+//! pipelining simulator.
+//!
+//! This crate defines the instruction set executed by every pipeline model in
+//! the workspace: a compact EPIC (Itanium 2-like) ISA with
+//!
+//! * 128 integer registers, 128 floating-point registers, and 64 predicate
+//!   registers ([`Reg`]),
+//! * compiler-delimited issue groups (stop bits on [`Inst`]),
+//! * qualifying predicates on every instruction,
+//! * the `RESTART` marker instruction used by multipass pipelining to direct
+//!   advance-execution restart (paper §3.3), and
+//! * full functional semantics ([`eval`], [`interp`]) so that timing models
+//!   are also functional interpreters whose final architectural state can be
+//!   cross-checked against the golden [`interp::Interpreter`].
+//!
+//! # Example
+//!
+//! Build a two-instruction program, run it through the golden interpreter and
+//! inspect the result:
+//!
+//! ```
+//! use ff_isa::{Inst, Op, Program, Reg, interp::Interpreter};
+//!
+//! let mut p = Program::new();
+//! let b = p.add_block();
+//! p.push(b, Inst::new(Op::MovImm).dst(Reg::int(4)).imm(21));
+//! p.push(b, Inst::new(Op::Add).dst(Reg::int(5)).src(Reg::int(4)).src(Reg::int(4)));
+//! p.push(b, Inst::new(Op::Halt));
+//! let mut interp = Interpreter::new(&p);
+//! interp.run(1_000).unwrap();
+//! assert_eq!(interp.state().int(5), 42);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod asm;
+pub mod eval;
+pub mod inst;
+pub mod interp;
+pub mod memimg;
+pub mod op;
+pub mod program;
+pub mod reg;
+pub mod state;
+
+pub use eval::{alu, branch_taken, effective_address};
+pub use inst::Inst;
+pub use memimg::MemoryImage;
+pub use op::{FuClass, Op};
+pub use program::{BlockId, Pc, Program};
+pub use reg::{Reg, RegClass, NUM_FP_REGS, NUM_INT_REGS, NUM_PRED_REGS};
+pub use state::ArchState;

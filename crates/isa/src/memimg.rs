@@ -1,0 +1,140 @@
+//! Functional data memory.
+//!
+//! [`MemoryImage`] is the *functional* half of the memory system: a sparse,
+//! word-addressed store of 64-bit values. The *timing* half (caches, MSHRs,
+//! latencies) lives in `ff-mem`; pipeline models consult both. Addresses are
+//! byte addresses; accesses are 8-byte-aligned words (the compiler stand-in
+//! only emits aligned word accesses, matching the ILP32-on-64-bit-words
+//! simplification documented in DESIGN.md).
+
+use std::collections::HashMap;
+
+/// Word size of every memory access, in bytes.
+pub const WORD_BYTES: u64 = 8;
+
+/// Sparse functional memory, word-granular, zero-initialized.
+///
+/// # Examples
+///
+/// ```
+/// use ff_isa::MemoryImage;
+/// let mut m = MemoryImage::new();
+/// assert_eq!(m.load(0x1000), 0);
+/// m.store(0x1000, 42);
+/// assert_eq!(m.load(0x1000), 42);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MemoryImage {
+    words: HashMap<u64, u64>,
+}
+
+impl MemoryImage {
+    /// Creates an empty (all-zero) memory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Rounds a byte address down to its containing word address.
+    pub fn word_addr(addr: u64) -> u64 {
+        addr & !(WORD_BYTES - 1)
+    }
+
+    /// Loads the 64-bit word containing byte address `addr`. Unwritten
+    /// locations read as zero.
+    pub fn load(&self, addr: u64) -> u64 {
+        self.words.get(&Self::word_addr(addr)).copied().unwrap_or(0)
+    }
+
+    /// Stores a 64-bit word at the word containing byte address `addr`,
+    /// returning the previous value.
+    pub fn store(&mut self, addr: u64, value: u64) -> u64 {
+        self.words.insert(Self::word_addr(addr), value).unwrap_or(0)
+    }
+
+    /// Number of words that have been written (footprint proxy).
+    pub fn written_words(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Iterates over `(word_address, value)` pairs of written words in an
+    /// unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.words.iter().map(|(&a, &v)| (a, v))
+    }
+
+    /// Compares two images as mathematical functions (treating absent words
+    /// as zero), so an explicit zero store equals an untouched word.
+    pub fn semantically_eq(&self, other: &MemoryImage) -> bool {
+        let covers = |a: &MemoryImage, b: &MemoryImage| {
+            a.iter().all(|(addr, v)| b.load(addr) == v)
+        };
+        covers(self, other) && covers(other, self)
+    }
+}
+
+impl FromIterator<(u64, u64)> for MemoryImage {
+    fn from_iter<T: IntoIterator<Item = (u64, u64)>>(iter: T) -> Self {
+        let mut m = MemoryImage::new();
+        for (addr, v) in iter {
+            m.store(addr, v);
+        }
+        m
+    }
+}
+
+impl Extend<(u64, u64)> for MemoryImage {
+    fn extend<T: IntoIterator<Item = (u64, u64)>>(&mut self, iter: T) {
+        for (addr, v) in iter {
+            self.store(addr, v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_initialized() {
+        let m = MemoryImage::new();
+        assert_eq!(m.load(0), 0);
+        assert_eq!(m.load(0xdead_beef), 0);
+        assert_eq!(m.written_words(), 0);
+    }
+
+    #[test]
+    fn store_load_round_trip() {
+        let mut m = MemoryImage::new();
+        m.store(64, 7);
+        assert_eq!(m.load(64), 7);
+        assert_eq!(m.store(64, 9), 7);
+        assert_eq!(m.load(64), 9);
+    }
+
+    #[test]
+    fn subword_addresses_alias_their_word() {
+        let mut m = MemoryImage::new();
+        m.store(0x100, 5);
+        for off in 0..8 {
+            assert_eq!(m.load(0x100 + off), 5, "offset {off} should alias");
+        }
+        assert_eq!(m.load(0x108), 0);
+    }
+
+    #[test]
+    fn semantic_equality_ignores_explicit_zeros() {
+        let mut a = MemoryImage::new();
+        a.store(8, 0);
+        let b = MemoryImage::new();
+        assert!(a.semantically_eq(&b));
+        a.store(8, 1);
+        assert!(!a.semantically_eq(&b));
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let m: MemoryImage = vec![(0u64, 1u64), (8, 2)].into_iter().collect();
+        assert_eq!(m.load(0), 1);
+        assert_eq!(m.load(8), 2);
+    }
+}

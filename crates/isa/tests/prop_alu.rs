@@ -1,0 +1,86 @@
+//! Property tests for the functional ALU semantics and the memory image.
+
+use proptest::prelude::*;
+
+use ff_isa::eval::{alu, effective_address};
+use ff_isa::{MemoryImage, Op};
+
+proptest! {
+    #[test]
+    fn add_is_commutative(a: u64, b: u64) {
+        prop_assert_eq!(alu(&Op::Add, a, b, 0), alu(&Op::Add, b, a, 0));
+    }
+
+    #[test]
+    fn bitwise_ops_are_commutative(a: u64, b: u64) {
+        for op in [Op::And, Op::Or, Op::Xor] {
+            prop_assert_eq!(alu(&op, a, b, 0), alu(&op, b, a, 0));
+        }
+    }
+
+    #[test]
+    fn mul_is_commutative(a: u64, b: u64) {
+        prop_assert_eq!(alu(&Op::Mul, a, b, 0), alu(&Op::Mul, b, a, 0));
+    }
+
+    #[test]
+    fn add_sub_round_trips(a: u64, b: u64) {
+        let sum = alu(&Op::Add, a, b, 0);
+        prop_assert_eq!(alu(&Op::Sub, sum, b, 0), a);
+    }
+
+    #[test]
+    fn xor_is_self_inverse(a: u64, b: u64) {
+        let x = alu(&Op::Xor, a, b, 0);
+        prop_assert_eq!(alu(&Op::Xor, x, b, 0), a);
+    }
+
+    #[test]
+    fn compares_return_booleans(a: u64, b: u64) {
+        for op in [Op::CmpEq, Op::CmpNe, Op::CmpLt] {
+            let v = alu(&op, a, b, 0);
+            prop_assert!(v == 0 || v == 1);
+        }
+        prop_assert_eq!(alu(&Op::CmpEq, a, b, 0) ^ alu(&Op::CmpNe, a, b, 0), 1);
+    }
+
+    #[test]
+    fn addimm_matches_add(a: u64, imm: i32) {
+        let via_imm = alu(&Op::AddImm, a, 0, imm as i64);
+        let via_add = alu(&Op::Add, a, imm as i64 as u64, 0);
+        prop_assert_eq!(via_imm, via_add);
+    }
+
+    #[test]
+    fn division_never_panics(a: u64, b: u64) {
+        let _ = alu(&Op::Div, a, b, 0);
+        let _ = alu(&Op::FDiv, a, b, 0);
+    }
+
+    #[test]
+    fn effective_address_is_base_plus_offset(base: u64, off: i32) {
+        prop_assert_eq!(
+            effective_address(base, off as i64),
+            base.wrapping_add(off as i64 as u64)
+        );
+    }
+
+    /// The memory image behaves like a word-granular map with zero default.
+    #[test]
+    fn memory_image_matches_hashmap_model(
+        writes in proptest::collection::vec((0u64..0x1000, any::<u64>()), 0..64),
+        probes in proptest::collection::vec(0u64..0x1000, 0..32),
+    ) {
+        use std::collections::HashMap;
+        let mut mem = MemoryImage::new();
+        let mut model: HashMap<u64, u64> = HashMap::new();
+        for (addr, v) in &writes {
+            mem.store(*addr, *v);
+            model.insert(MemoryImage::word_addr(*addr), *v);
+        }
+        for p in &probes {
+            let expect = model.get(&MemoryImage::word_addr(*p)).copied().unwrap_or(0);
+            prop_assert_eq!(mem.load(*p), expect);
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! Timing memory hierarchy for the flea-flicker simulator.
+//!
+//! This crate is the *timing* half of the memory system (the functional half
+//! is `ff_isa::MemoryImage`). It models the cache hierarchy of the paper's
+//! Table 2 — separate L1I and L1D backed by unified L2 and L3 and main
+//! memory — with set-associative LRU caches, non-blocking misses through a
+//! bounded MSHR file (16 outstanding misses, same-line merging), and the
+//! alternative hierarchies of Figure 7 (`config1`, `config2`).
+//!
+//! Pipeline models call [`MemorySystem::access`] with the current cycle and
+//! receive either the completion cycle plus the level that served the
+//! request, or a [`MemAccess::Retry`] when every MSHR is busy (the request
+//! must be replayed on a later cycle, which is how the "Max Outstanding
+//! Misses: 16" limit of Table 2 constrains memory-level parallelism).
+//!
+//! # Example
+//!
+//! ```
+//! use ff_mem::{AccessKind, HierarchyConfig, MemAccess, MemorySystem};
+//!
+//! let mut mem = MemorySystem::new(HierarchyConfig::itanium2_base());
+//! // Cold miss goes to main memory: 145 cycles.
+//! match mem.access(0x4000, AccessKind::DataRead, 0) {
+//!     MemAccess::Done { complete_at, .. } => assert_eq!(complete_at, 145),
+//!     MemAccess::Retry => unreachable!("MSHRs are empty"),
+//! }
+//! // A later access to the same line hits in L1D.
+//! match mem.access(0x4000, AccessKind::DataRead, 200) {
+//!     MemAccess::Done { complete_at, .. } => assert_eq!(complete_at, 201),
+//!     MemAccess::Retry => unreachable!(),
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod config;
+pub mod mshr;
+pub mod system;
+
+pub use cache::Cache;
+pub use config::{CacheConfig, HierarchyConfig};
+pub use mshr::MshrFile;
+pub use system::{AccessKind, HitLevel, MemAccess, MemStats, MemorySystem};

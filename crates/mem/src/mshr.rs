@@ -1,0 +1,169 @@
+//! Miss status holding registers (MSHRs).
+//!
+//! The MSHR file bounds the number of outstanding cache misses (Table 2's
+//! "Max Outstanding Misses: 16") and merges accesses to a line whose miss is
+//! already in flight. Because overlap of outstanding misses is exactly what
+//! runahead-family techniques exploit, this bound is a first-order limit on
+//! how much memory-level parallelism any model can expose.
+
+/// Outcome of asking the MSHR file to track a miss.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MshrOutcome {
+    /// A new entry was allocated; the miss completes at the given cycle.
+    Allocated {
+        /// Completion cycle of the newly tracked miss.
+        complete_at: u64,
+    },
+    /// The line already has a miss in flight; this access merges with it and
+    /// completes when the existing miss does.
+    Merged {
+        /// Completion cycle of the in-flight miss.
+        complete_at: u64,
+    },
+    /// All entries are busy; the requester must retry later.
+    Full,
+}
+
+/// A bounded file of in-flight misses, keyed by line address.
+#[derive(Clone, Debug)]
+pub struct MshrFile {
+    capacity: usize,
+    /// `(line_address, complete_at)` pairs for in-flight misses.
+    entries: Vec<(u64, u64)>,
+    allocations: u64,
+    merges: u64,
+    full_stalls: u64,
+    peak_occupancy: usize,
+}
+
+impl MshrFile {
+    /// Creates an MSHR file with `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "MSHR capacity must be positive");
+        MshrFile {
+            capacity,
+            entries: Vec::with_capacity(capacity),
+            allocations: 0,
+            merges: 0,
+            full_stalls: 0,
+            peak_occupancy: 0,
+        }
+    }
+
+    /// Releases entries whose misses have completed by cycle `now`.
+    pub fn expire(&mut self, now: u64) {
+        self.entries.retain(|&(_, done)| done > now);
+    }
+
+    /// Requests tracking of a miss to `line` issued at `now`, completing at
+    /// `complete_at` if newly allocated. Expired entries are reclaimed
+    /// first. See [`MshrOutcome`].
+    pub fn request(&mut self, line: u64, now: u64, complete_at: u64) -> MshrOutcome {
+        self.expire(now);
+        if let Some(&(_, done)) = self.entries.iter().find(|&&(l, _)| l == line) {
+            self.merges += 1;
+            return MshrOutcome::Merged { complete_at: done };
+        }
+        if self.entries.len() >= self.capacity {
+            self.full_stalls += 1;
+            return MshrOutcome::Full;
+        }
+        self.entries.push((line, complete_at));
+        self.allocations += 1;
+        self.peak_occupancy = self.peak_occupancy.max(self.entries.len());
+        MshrOutcome::Allocated { complete_at }
+    }
+
+    /// Records a merge that was detected by the caller via
+    /// [`MshrFile::in_flight`] rather than by [`MshrFile::request`].
+    pub fn note_merge(&mut self) {
+        self.merges += 1;
+    }
+
+    /// If `line` has a miss in flight at `now`, its completion cycle.
+    pub fn in_flight(&self, line: u64, now: u64) -> Option<u64> {
+        self.entries.iter().find(|&&(l, done)| l == line && done > now).map(|&(_, d)| d)
+    }
+
+    /// Entries currently occupied at cycle `now`.
+    pub fn occupancy(&self, now: u64) -> usize {
+        self.entries.iter().filter(|&&(_, done)| done > now).count()
+    }
+
+    /// Total new-entry allocations.
+    pub fn allocations(&self) -> u64 {
+        self.allocations
+    }
+
+    /// Total same-line merges.
+    pub fn merges(&self) -> u64 {
+        self.merges
+    }
+
+    /// Total requests rejected because the file was full.
+    pub fn full_stalls(&self) -> u64 {
+        self.full_stalls
+    }
+
+    /// Highest simultaneous occupancy observed.
+    pub fn peak_occupancy(&self) -> usize {
+        self.peak_occupancy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocates_until_full() {
+        let mut m = MshrFile::new(2);
+        assert_eq!(m.request(0, 0, 100), MshrOutcome::Allocated { complete_at: 100 });
+        assert_eq!(m.request(64, 0, 100), MshrOutcome::Allocated { complete_at: 100 });
+        assert_eq!(m.request(128, 0, 100), MshrOutcome::Full);
+        assert_eq!(m.full_stalls(), 1);
+    }
+
+    #[test]
+    fn merges_same_line() {
+        let mut m = MshrFile::new(2);
+        m.request(0, 0, 100);
+        assert_eq!(m.request(0, 5, 200), MshrOutcome::Merged { complete_at: 100 });
+        assert_eq!(m.merges(), 1);
+        assert_eq!(m.occupancy(5), 1);
+    }
+
+    #[test]
+    fn expires_completed_entries() {
+        let mut m = MshrFile::new(1);
+        m.request(0, 0, 10);
+        assert_eq!(m.request(64, 5, 100), MshrOutcome::Full);
+        // At cycle 10 the first miss is done; the slot frees.
+        assert_eq!(m.request(64, 10, 100), MshrOutcome::Allocated { complete_at: 100 });
+        assert_eq!(m.occupancy(10), 1);
+    }
+
+    #[test]
+    fn in_flight_reports_completion() {
+        let mut m = MshrFile::new(4);
+        m.request(0, 0, 42);
+        assert_eq!(m.in_flight(0, 10), Some(42));
+        assert_eq!(m.in_flight(0, 42), None);
+        assert_eq!(m.in_flight(64, 10), None);
+    }
+
+    #[test]
+    fn peak_occupancy_tracks_maximum() {
+        let mut m = MshrFile::new(8);
+        for i in 0..5u64 {
+            m.request(i * 64, 0, 50);
+        }
+        m.expire(60);
+        m.request(999 * 64, 60, 100);
+        assert_eq!(m.peak_occupancy(), 5);
+    }
+}

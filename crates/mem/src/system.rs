@@ -1,0 +1,390 @@
+//! The assembled memory system: L1I + L1D over unified L2/L3 and main
+//! memory, with non-blocking misses through a shared MSHR file.
+
+use crate::cache::Cache;
+use crate::config::HierarchyConfig;
+use crate::mshr::{MshrFile, MshrOutcome};
+
+/// What kind of access is being performed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AccessKind {
+    /// Demand data load.
+    DataRead,
+    /// Data store (write-allocate; never stalls the pipe, see DESIGN.md).
+    DataWrite,
+    /// Speculative load issued by advance/runahead execution. Times exactly
+    /// like [`AccessKind::DataRead`] but is counted separately so experiments
+    /// can report prefetch traffic.
+    SpeculativeRead,
+    /// Instruction fetch through the L1I.
+    InstFetch,
+}
+
+impl AccessKind {
+    fn is_ifetch(self) -> bool {
+        matches!(self, AccessKind::InstFetch)
+    }
+}
+
+/// Which level of the hierarchy served an access.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum HitLevel {
+    /// First-level cache (L1I or L1D depending on the access kind).
+    L1,
+    /// Unified second-level cache.
+    L2,
+    /// Unified third-level cache.
+    L3,
+    /// Main memory.
+    Memory,
+}
+
+impl HitLevel {
+    /// True when the access missed the first level (a "cache miss" in the
+    /// paper's stall taxonomy).
+    pub fn is_miss(self) -> bool {
+        self != HitLevel::L1
+    }
+
+    /// True for the "relatively long" misses of Figure 1 (L3 or memory).
+    pub fn is_long_miss(self) -> bool {
+        matches!(self, HitLevel::L3 | HitLevel::Memory)
+    }
+}
+
+/// Result of a timed memory access.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MemAccess {
+    /// The access was accepted; its value is usable at `complete_at`.
+    Done {
+        /// Cycle at which the result is available for bypass.
+        complete_at: u64,
+        /// The level that served the request.
+        level: HitLevel,
+    },
+    /// No MSHR was available; retry on a later cycle.
+    Retry,
+}
+
+impl MemAccess {
+    /// The completion cycle, if the access was accepted.
+    pub fn complete_at(&self) -> Option<u64> {
+        match self {
+            MemAccess::Done { complete_at, .. } => Some(*complete_at),
+            MemAccess::Retry => None,
+        }
+    }
+}
+
+/// Aggregate counters for one simulation run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MemStats {
+    /// Demand + speculative data accesses.
+    pub data_accesses: u64,
+    /// Data accesses that missed L1D.
+    pub l1d_misses: u64,
+    /// Data accesses served by L2.
+    pub l2_hits: u64,
+    /// Data accesses served by L3.
+    pub l3_hits: u64,
+    /// Data accesses served by main memory.
+    pub mm_accesses: u64,
+    /// Instruction fetches.
+    pub ifetches: u64,
+    /// Instruction fetches that missed L1I.
+    pub l1i_misses: u64,
+    /// Accesses rejected because the MSHR file was full.
+    pub mshr_retries: u64,
+    /// Speculative (advance/runahead) reads issued.
+    pub speculative_reads: u64,
+}
+
+/// The full timing memory system.
+///
+/// All levels are tag-only (data lives in the functional memory image).
+/// Misses allocate in the shared MSHR file; lines are installed into every
+/// level on the refill path at request time, with the completion cycle
+/// reported by the MSHR entry. Same-line requests merge. Writes allocate
+/// but never consume MSHRs (the store buffer is idealized identically for
+/// every model).
+#[derive(Clone, Debug)]
+pub struct MemorySystem {
+    config: HierarchyConfig,
+    l1i: Cache,
+    l1d: Cache,
+    l2: Cache,
+    l3: Cache,
+    mshrs: MshrFile,
+    stats: MemStats,
+}
+
+impl MemorySystem {
+    /// Creates a memory system with cold caches.
+    pub fn new(config: HierarchyConfig) -> Self {
+        MemorySystem {
+            config,
+            l1i: Cache::new(config.l1i),
+            l1d: Cache::new(config.l1d),
+            l2: Cache::new(config.l2),
+            l3: Cache::new(config.l3),
+            mshrs: MshrFile::new(config.max_outstanding as usize),
+            stats: MemStats::default(),
+        }
+    }
+
+    /// The hierarchy configuration.
+    pub fn config(&self) -> &HierarchyConfig {
+        &self.config
+    }
+
+    /// Run counters.
+    pub fn stats(&self) -> &MemStats {
+        &self.stats
+    }
+
+    /// MSHR file (occupancy / merge statistics).
+    pub fn mshrs(&self) -> &MshrFile {
+        &self.mshrs
+    }
+
+    /// Would a data access to `addr` at cycle `now` be served by the L1D
+    /// with the data already present (a true L1 hit, not a merge with an
+    /// in-flight miss)? Used by the multipass WAW policy of §3.5: advance
+    /// loads that miss L1 skip the speculative-register-file writeback.
+    /// Does not disturb any state.
+    pub fn probe_l1d(&self, addr: u64, now: u64) -> bool {
+        self.l1d.probe(addr) && self.mshrs.in_flight(self.l1d.line_addr(addr), now).is_none()
+    }
+
+    /// Performs a timed access at cycle `now`.
+    ///
+    /// For hits, `complete_at = now + level latency`. For misses an MSHR is
+    /// required: if none is free, [`MemAccess::Retry`] is returned and no
+    /// state changes besides the retry counter. Misses install the line in
+    /// every level on the refill path immediately and complete at
+    /// `now + latency_of_serving_level`. A second access to a line already
+    /// in flight merges and completes when the first does.
+    pub fn access(&mut self, addr: u64, kind: AccessKind, now: u64) -> MemAccess {
+        if kind.is_ifetch() {
+            self.stats.ifetches += 1;
+        } else {
+            self.stats.data_accesses += 1;
+            if matches!(kind, AccessKind::SpeculativeRead) {
+                self.stats.speculative_reads += 1;
+            }
+        }
+
+        let l1 = if kind.is_ifetch() { &mut self.l1i } else { &mut self.l1d };
+        let line = l1.line_addr(addr);
+
+        // An access to a line whose miss is still in flight merges with it
+        // and completes when the original miss does — even though the tags
+        // were installed at request time, the data has not arrived yet.
+        if let Some(done) = self.mshrs.in_flight(line, now) {
+            if kind.is_ifetch() {
+                self.stats.l1i_misses += 1;
+            } else {
+                self.stats.l1d_misses += 1;
+            }
+            self.mshrs.note_merge();
+            self.fill_path(addr, kind);
+            return MemAccess::Done { complete_at: done, level: HitLevel::L2 };
+        }
+
+        if l1.access(addr) {
+            return MemAccess::Done {
+                complete_at: now + l1.config().latency as u64,
+                level: HitLevel::L1,
+            };
+        }
+        if kind.is_ifetch() {
+            self.stats.l1i_misses += 1;
+        } else {
+            self.stats.l1d_misses += 1;
+        }
+
+        // Find the serving level.
+        let (level, latency) = if self.l2.access(addr) {
+            (HitLevel::L2, self.config.l2.latency)
+        } else if self.l3.access(addr) {
+            (HitLevel::L3, self.config.l3.latency)
+        } else {
+            (HitLevel::Memory, self.config.mm_latency)
+        };
+
+        // Writes allocate without MSHRs and never stall.
+        let complete_at = now + latency as u64;
+        if matches!(kind, AccessKind::DataWrite) {
+            self.fill_all(addr, kind, level);
+            return MemAccess::Done { complete_at, level };
+        }
+
+        match self.mshrs.request(line, now, complete_at) {
+            MshrOutcome::Allocated { complete_at } => {
+                self.fill_all(addr, kind, level);
+                match level {
+                    HitLevel::L2 => self.stats.l2_hits += 1,
+                    HitLevel::L3 => self.stats.l3_hits += 1,
+                    HitLevel::Memory => self.stats.mm_accesses += 1,
+                    HitLevel::L1 => unreachable!("L1 hits return early"),
+                }
+                MemAccess::Done { complete_at, level }
+            }
+            MshrOutcome::Merged { complete_at } => {
+                self.fill_path(addr, kind);
+                MemAccess::Done { complete_at, level }
+            }
+            MshrOutcome::Full => {
+                self.stats.mshr_retries += 1;
+                MemAccess::Retry
+            }
+        }
+    }
+
+    /// Installs the line into the first-level cache on the access path
+    /// (used when merging with an in-flight miss).
+    fn fill_path(&mut self, addr: u64, kind: AccessKind) {
+        if kind.is_ifetch() {
+            self.l1i.fill(addr);
+        } else {
+            self.l1d.fill(addr);
+        }
+    }
+
+    /// Installs the line into every level between the serving level and the
+    /// requesting L1.
+    fn fill_all(&mut self, addr: u64, kind: AccessKind, served_by: HitLevel) {
+        if served_by >= HitLevel::Memory {
+            self.l3.fill(addr);
+        }
+        if served_by >= HitLevel::L3 {
+            self.l2.fill(addr);
+        }
+        self.fill_path(addr, kind);
+    }
+
+    /// Per-level caches, exposed for tests and detailed statistics.
+    pub fn l1d(&self) -> &Cache {
+        &self.l1d
+    }
+
+    /// The instruction cache.
+    pub fn l1i(&self) -> &Cache {
+        &self.l1i
+    }
+
+    /// The unified L2.
+    pub fn l2(&self) -> &Cache {
+        &self.l2
+    }
+
+    /// The unified L3.
+    pub fn l3(&self) -> &Cache {
+        &self.l3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sys() -> MemorySystem {
+        MemorySystem::new(HierarchyConfig::itanium2_base())
+    }
+
+    #[test]
+    fn cold_miss_costs_main_memory_latency() {
+        let mut m = sys();
+        let r = m.access(0x1_0000, AccessKind::DataRead, 10);
+        assert_eq!(r, MemAccess::Done { complete_at: 10 + 145, level: HitLevel::Memory });
+    }
+
+    #[test]
+    fn refill_installs_in_all_levels() {
+        let mut m = sys();
+        m.access(0x1_0000, AccessKind::DataRead, 0);
+        assert!(m.l1d().probe(0x1_0000));
+        assert!(m.l2().probe(0x1_0000));
+        assert!(m.l3().probe(0x1_0000));
+        let r = m.access(0x1_0000, AccessKind::DataRead, 500);
+        assert_eq!(r, MemAccess::Done { complete_at: 501, level: HitLevel::L1 });
+    }
+
+    #[test]
+    fn l2_hit_costs_five_cycles() {
+        let mut m = sys();
+        // Fill into all levels, then evict from L1D by filling conflicting
+        // lines (L1D: 64 sets, 4 ways -> 5 lines mapping to the same set).
+        m.access(0, AccessKind::DataRead, 0);
+        let set_stride = 64 * 64; // line_bytes * num_sets
+        for i in 1..=4u64 {
+            m.access(i * set_stride, AccessKind::DataRead, 1000 + i * 400);
+        }
+        assert!(!m.l1d().probe(0), "line 0 should be evicted from L1D");
+        let r = m.access(0, AccessKind::DataRead, 10_000);
+        assert_eq!(r, MemAccess::Done { complete_at: 10_005, level: HitLevel::L2 });
+    }
+
+    #[test]
+    fn mshr_exhaustion_forces_retry() {
+        let mut m = sys();
+        for i in 0..16u64 {
+            let r = m.access(0x10_0000 + i * 128, AccessKind::DataRead, 0);
+            assert!(matches!(r, MemAccess::Done { .. }), "miss {i} should be accepted");
+        }
+        let r = m.access(0x90_0000, AccessKind::DataRead, 0);
+        assert_eq!(r, MemAccess::Retry);
+        assert_eq!(m.stats().mshr_retries, 1);
+        // After the misses complete, a new miss is accepted.
+        let r = m.access(0x90_0000, AccessKind::DataRead, 200);
+        assert!(matches!(r, MemAccess::Done { .. }));
+    }
+
+    #[test]
+    fn same_line_miss_merges() {
+        let mut m = sys();
+        let a = m.access(0x2000, AccessKind::DataRead, 0);
+        let b = m.access(0x2008, AccessKind::DataRead, 3);
+        assert_eq!(a.complete_at(), b.complete_at());
+        assert_eq!(m.mshrs().merges(), 1);
+    }
+
+    #[test]
+    fn writes_never_retry_even_when_mshrs_full() {
+        let mut m = sys();
+        for i in 0..16u64 {
+            m.access(0x10_0000 + i * 128, AccessKind::DataRead, 0);
+        }
+        let r = m.access(0x0dea_d000, AccessKind::DataWrite, 0);
+        assert!(matches!(r, MemAccess::Done { .. }));
+    }
+
+    #[test]
+    fn ifetch_uses_l1i_not_l1d() {
+        let mut m = sys();
+        m.access(0x3000, AccessKind::InstFetch, 0);
+        assert!(m.l1i().probe(0x3000));
+        assert!(!m.l1d().probe(0x3000));
+        assert_eq!(m.stats().ifetches, 1);
+        assert_eq!(m.stats().l1i_misses, 1);
+    }
+
+    #[test]
+    fn speculative_reads_are_counted_and_fill() {
+        let mut m = sys();
+        m.access(0x5000, AccessKind::SpeculativeRead, 0);
+        assert_eq!(m.stats().speculative_reads, 1);
+        // Demand access later hits thanks to the speculative fill.
+        let r = m.access(0x5000, AccessKind::DataRead, 1_000);
+        assert_eq!(r, MemAccess::Done { complete_at: 1_001, level: HitLevel::L1 });
+    }
+
+    #[test]
+    fn hit_level_classification() {
+        assert!(!HitLevel::L1.is_miss());
+        assert!(HitLevel::L2.is_miss());
+        assert!(!HitLevel::L2.is_long_miss());
+        assert!(HitLevel::L3.is_long_miss());
+        assert!(HitLevel::Memory.is_long_miss());
+    }
+}

@@ -1,0 +1,97 @@
+//! Property tests for the cache and MSHR models.
+
+use proptest::prelude::*;
+
+use ff_mem::{AccessKind, Cache, CacheConfig, HierarchyConfig, MemAccess, MemorySystem, MshrFile};
+
+proptest! {
+    /// Residency never exceeds capacity, and a just-filled line always hits.
+    #[test]
+    fn cache_capacity_and_fill_invariants(
+        addrs in proptest::collection::vec(0u64..0x40_000, 1..200),
+    ) {
+        let cfg = CacheConfig::new(4096, 4, 64, 1);
+        let capacity = (cfg.size_bytes / cfg.line_bytes) as usize;
+        let mut c = Cache::new(cfg);
+        for &a in &addrs {
+            c.fill(a);
+            prop_assert!(c.probe(a), "line just filled must be resident");
+            prop_assert!(c.resident_lines() <= capacity);
+        }
+    }
+
+    /// With associativity A, the A most-recently-used distinct lines of a
+    /// set are always resident (true-LRU property).
+    #[test]
+    fn lru_keeps_most_recent_ways(
+        seq in proptest::collection::vec(0u64..8, 1..64),
+    ) {
+        // One set: 4 ways, line 64B, 4 sets — use set-0 lines only.
+        let cfg = CacheConfig::new(1024, 4, 64, 1);
+        let mut c = Cache::new(cfg);
+        let line = |i: u64| i * 64 * 4; // stride = sets * line -> same set
+        let mut recent: Vec<u64> = Vec::new();
+        for &i in &seq {
+            c.fill(line(i));
+            recent.retain(|&x| x != i);
+            recent.push(i);
+            let keep = recent.len().min(4);
+            for &r in &recent[recent.len() - keep..] {
+                prop_assert!(c.probe(line(r)), "recently used line {r} evicted");
+            }
+        }
+    }
+
+    /// MSHR occupancy never exceeds capacity and merges never allocate.
+    #[test]
+    fn mshr_occupancy_bounded(
+        reqs in proptest::collection::vec((0u64..32, 0u64..100), 1..100),
+    ) {
+        let mut m = MshrFile::new(8);
+        for (i, &(line, dur)) in reqs.iter().enumerate() {
+            let now = i as u64;
+            let _ = m.request(line * 64, now, now + dur + 1);
+            prop_assert!(m.occupancy(now) <= 8);
+        }
+    }
+
+    /// The memory system always answers, and accepted accesses complete in
+    /// bounded time (at most the main-memory latency).
+    #[test]
+    fn memory_system_latency_bounds(
+        accesses in proptest::collection::vec((0u64..0x100_000, 0u64..8), 1..200),
+    ) {
+        let mut sys = MemorySystem::new(HierarchyConfig::itanium2_base());
+        let mm = sys.config().mm_latency as u64;
+        let mut now = 0;
+        for &(addr, gap) in &accesses {
+            now += gap;
+            match sys.access(addr, AccessKind::DataRead, now) {
+                MemAccess::Done { complete_at, .. } => {
+                    prop_assert!(complete_at > now, "completion must be in the future");
+                    prop_assert!(complete_at <= now + mm, "latency exceeds main memory");
+                }
+                MemAccess::Retry => {
+                    // Only legal when the MSHR file is genuinely full.
+                    prop_assert!(sys.mshrs().occupancy(now) == 16);
+                }
+            }
+        }
+    }
+
+    /// Repeated access to the same address eventually hits L1 (once its
+    /// miss completes): temporal locality always pays off.
+    #[test]
+    fn second_access_after_completion_hits(addr in 0u64..0x100_000) {
+        let mut sys = MemorySystem::new(HierarchyConfig::itanium2_base());
+        let first = sys.access(addr, AccessKind::DataRead, 0);
+        let done = first.complete_at().expect("empty MSHRs accept the miss");
+        match sys.access(addr, AccessKind::DataRead, done + 1) {
+            MemAccess::Done { complete_at, level } => {
+                prop_assert_eq!(level, ff_mem::HitLevel::L1);
+                prop_assert_eq!(complete_at, done + 2);
+            }
+            MemAccess::Retry => prop_assert!(false, "hit cannot retry"),
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! Wattch-like microarchitectural power models (paper §4, Table 1).
+//!
+//! The paper compares out-of-order and multipass hardware using power
+//! models "adapted from Wattch" — analytic array models (decoders,
+//! wordlines, bitlines, senseamps) whose energy scales with geometry and
+//! port count, and content-addressable memories that "must read out their
+//! entire contents and match them" and are therefore "far more costly in
+//! power than indexed arrays". Average power uses Wattch's linear
+//! clock-gating model driven by per-structure activity factors measured by
+//! the cycle simulators (`ff_engine::Activity`).
+//!
+//! Absolute numbers are arbitrary units; as in the paper, only *ratios*
+//! between analogous structures are meaningful ("Table 1 is only meant to
+//! illustrate the degree of disparity…").
+//!
+//! # Example
+//!
+//! ```
+//! use ff_power::{ArrayModel, CamModel};
+//! let array = ArrayModel::new(48, 33, 2, 2);
+//! let cam = CamModel::new(48, 33, 2, 2);
+//! // A CAM of identical geometry burns far more energy per access.
+//! assert!(cam.peak_power() > 2.0 * array.peak_power());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod model;
+pub mod structures;
+pub mod table1;
+
+pub use model::{ArrayModel, CamModel, ClockGating};
+pub use structures::{multipass_structures, out_of_order_structures, StructureSet};
+pub use table1::{table1, Table1Row};

@@ -1,0 +1,234 @@
+//! Analytic energy models for indexed arrays and CAMs.
+//!
+//! Units are arbitrary but consistent: a structure's *peak power* is the
+//! energy of firing every port in one cycle; average power applies the
+//! linear clock-gating model of [`ClockGating`].
+
+/// Relative cost coefficients, loosely following Wattch's array
+/// decomposition for a 100 nm process. Only ratios matter.
+mod coef {
+    /// Energy per bitline (column) driven, per row of column capacitance.
+    pub const BITLINE_PER_ROW: f64 = 1.0;
+    /// Energy per wordline bit driven.
+    pub const WORDLINE_PER_BIT: f64 = 1.1;
+    /// Decoder energy per address bit.
+    pub const DECODE_PER_ADDR_BIT: f64 = 6.0;
+    /// Senseamp energy per output bit.
+    pub const SENSE_PER_BIT: f64 = 0.9;
+    /// Per-port growth of cell geometry (extra word/bit lines per port).
+    pub const PORT_GROWTH: f64 = 0.35;
+    /// CAM tagline energy per entry-bit matched.
+    pub const CAM_MATCH_PER_ENTRY_BIT: f64 = 0.55;
+    /// CAM matchline energy per entry.
+    pub const CAM_MATCHLINE_PER_ENTRY: f64 = 2.0;
+}
+
+fn port_factor(ports: f64) -> f64 {
+    1.0 + coef::PORT_GROWTH * (ports - 1.0).max(0.0)
+}
+
+/// An indexed SRAM array (register file, scheduling table, queue, cache
+/// tag/data array).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ArrayModel {
+    rows: f64,
+    bits: f64,
+    read_ports: f64,
+    write_ports: f64,
+    /// Banking divides the bitline length (rows per bank).
+    banks: f64,
+}
+
+impl ArrayModel {
+    /// Creates an un-banked array of `rows` entries of `bits` bits with the
+    /// given port counts.
+    pub fn new(rows: u32, bits: u32, read_ports: u32, write_ports: u32) -> Self {
+        ArrayModel {
+            rows: rows as f64,
+            bits: bits as f64,
+            read_ports: read_ports as f64,
+            write_ports: write_ports as f64,
+            banks: 1.0,
+        }
+    }
+
+    /// Banked variant: bitlines span `rows / banks` cells.
+    pub fn banked(rows: u32, bits: u32, read_ports: u32, write_ports: u32, banks: u32) -> Self {
+        assert!(banks >= 1);
+        ArrayModel { banks: banks as f64, ..Self::new(rows, bits, read_ports, write_ports) }
+    }
+
+    /// Total ports.
+    pub fn ports(&self) -> f64 {
+        self.read_ports + self.write_ports
+    }
+
+    /// Energy of one access through one port.
+    pub fn access_energy(&self) -> f64 {
+        let pf = port_factor(self.ports());
+        let rows_per_bank = self.rows / self.banks;
+        let decode = coef::DECODE_PER_ADDR_BIT * (self.rows.max(2.0)).log2();
+        let wordline = coef::WORDLINE_PER_BIT * self.bits * pf;
+        let bitline = coef::BITLINE_PER_ROW * rows_per_bank * pf * (self.bits / 32.0).max(0.25);
+        let sense = coef::SENSE_PER_BIT * self.bits;
+        decode + wordline + bitline + sense
+    }
+
+    /// Peak power: every port fires each cycle.
+    pub fn peak_power(&self) -> f64 {
+        self.access_energy() * self.ports()
+    }
+}
+
+/// A content-addressable memory (load/store queue, CAM scheduler): every
+/// access reads out and matches the entire contents.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CamModel {
+    entries: f64,
+    tag_bits: f64,
+    read_ports: f64,
+    write_ports: f64,
+}
+
+impl CamModel {
+    /// Creates a CAM of `entries` × `tag_bits` with the given port counts.
+    pub fn new(entries: u32, tag_bits: u32, read_ports: u32, write_ports: u32) -> Self {
+        CamModel {
+            entries: entries as f64,
+            tag_bits: tag_bits as f64,
+            read_ports: read_ports as f64,
+            write_ports: write_ports as f64,
+        }
+    }
+
+    /// Total ports.
+    pub fn ports(&self) -> f64 {
+        self.read_ports + self.write_ports
+    }
+
+    /// Energy of one search/insert through one port: taglines across every
+    /// entry-bit plus matchlines across every entry.
+    pub fn access_energy(&self) -> f64 {
+        let pf = port_factor(self.ports());
+        let taglines = coef::CAM_MATCH_PER_ENTRY_BIT * self.entries * self.tag_bits * pf;
+        let matchlines = coef::CAM_MATCHLINE_PER_ENTRY * self.entries;
+        taglines + matchlines
+    }
+
+    /// Peak power: every port searches each cycle.
+    pub fn peak_power(&self) -> f64 {
+        self.access_energy() * self.ports()
+    }
+}
+
+/// A wired-OR dependence matrix (the paper's wakeup structure:
+/// "wired-OR resource dependence matrix: 128 entries, 329 bits"). Each
+/// broadcast drives one wire across every entry-bit — cheaper per bit than
+/// a full CAM compare, but the whole matrix toggles on every broadcast.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MatrixModel {
+    entries: f64,
+    bits: f64,
+    broadcasts: f64,
+}
+
+impl MatrixModel {
+    /// Creates a matrix of `entries` × `bits` receiving up to `broadcasts`
+    /// result broadcasts per cycle.
+    pub fn new(entries: u32, bits: u32, broadcasts: u32) -> Self {
+        MatrixModel {
+            entries: entries as f64,
+            bits: bits as f64,
+            broadcasts: broadcasts as f64,
+        }
+    }
+
+    /// Broadcast ports.
+    pub fn ports(&self) -> f64 {
+        self.broadcasts
+    }
+
+    /// Energy of one broadcast.
+    pub fn access_energy(&self) -> f64 {
+        0.5 * self.entries * self.bits
+    }
+
+    /// Peak power: every broadcast port fires each cycle.
+    pub fn peak_power(&self) -> f64 {
+        self.access_energy() * self.broadcasts
+    }
+}
+
+/// Wattch's linear clock-gating model ("cc3"-style): an idle structure
+/// still burns a fixed fraction of its peak power.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ClockGating {
+    /// Fraction of peak power consumed when fully idle.
+    pub idle_fraction: f64,
+}
+
+impl Default for ClockGating {
+    fn default() -> Self {
+        ClockGating { idle_fraction: 0.10 }
+    }
+}
+
+impl ClockGating {
+    /// Average power of a structure with `peak` power, `ports` ports, and
+    /// `accesses_per_cycle` measured activity.
+    pub fn average(&self, peak: f64, ports: f64, accesses_per_cycle: f64) -> f64 {
+        let af = (accesses_per_cycle / ports).clamp(0.0, 1.0);
+        peak * (self.idle_fraction + (1.0 - self.idle_fraction) * af)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn more_ports_cost_more() {
+        let small = ArrayModel::new(128, 33, 2, 2);
+        let big = ArrayModel::new(128, 33, 12, 8);
+        assert!(big.peak_power() > 3.0 * small.peak_power());
+    }
+
+    #[test]
+    fn banking_reduces_access_energy() {
+        let flat = ArrayModel::new(256, 41, 2, 2);
+        let banked = ArrayModel::banked(256, 41, 2, 2, 2);
+        assert!(banked.access_energy() < flat.access_energy());
+        assert!(banked.access_energy() > 0.4 * flat.access_energy());
+    }
+
+    #[test]
+    fn cam_dominates_equivalent_array() {
+        let a = ArrayModel::new(48, 33, 2, 2);
+        let c = CamModel::new(48, 33, 2, 2);
+        assert!(c.peak_power() > 2.0 * a.peak_power());
+    }
+
+    #[test]
+    fn cam_scales_with_entries() {
+        let small = CamModel::new(32, 33, 2, 2);
+        let big = CamModel::new(128, 33, 2, 2);
+        assert!(big.access_energy() > 3.5 * small.access_energy());
+    }
+
+    #[test]
+    fn clock_gating_interpolates() {
+        let cg = ClockGating::default();
+        let idle = cg.average(100.0, 4.0, 0.0);
+        let busy = cg.average(100.0, 4.0, 4.0);
+        let half = cg.average(100.0, 4.0, 2.0);
+        assert!((idle - 10.0).abs() < 1e-9);
+        assert!((busy - 100.0).abs() < 1e-9);
+        assert!(idle < half && half < busy);
+    }
+
+    #[test]
+    fn activity_clamps_at_port_limit() {
+        let cg = ClockGating::default();
+        assert_eq!(cg.average(100.0, 2.0, 10.0), cg.average(100.0, 2.0, 2.0));
+    }
+}

@@ -1,0 +1,908 @@
+//! The twelve SPEC CPU2000-like kernel generators.
+//!
+//! Each generator documents which behavioural signature of its SPEC
+//! counterpart it reproduces. All programs are built in straight dependence
+//! order and then compiled through `ff-compiler` (list scheduling into EPIC
+//! issue groups, plus critical-SCC RESTART insertion), exactly as the
+//! paper's binaries went through OpenIMPACT.
+//!
+//! Footprints, hot/cold access mixtures, and per-iteration instruction
+//! mixes are calibrated so the *baseline* stall composition lands in the
+//! neighbourhood of the paper's Figure 6 bars: most benchmarks are
+//! substantially cache-resident with moderate load-stall fractions, mcf is
+//! the pathological pointer-chaser, mesa is FP-latency bound, and twolf is
+//! branchy. Streams *wrap* over power-of-two windows so they become
+//! cache-resident after the first lap (the simulator has no hardware
+//! prefetcher, so unbounded streams would overstate compulsory misses).
+
+use ff_compiler::{compile, CompilerOptions};
+use ff_isa::{program::BlockId, Inst, MemoryImage, Op, Program, Reg};
+use rand::Rng;
+
+use crate::builder::{
+    clustered_ring, fill_array, fill_indices_mixed, kernel_rng, random_f64_bits, shuffled_ring,
+};
+use crate::{Scale, Workload};
+
+// Memory-map bases (one per logical array; also used as alias regions).
+const R0_BASE: u64 = 0x0100_0000;
+const R1_BASE: u64 = 0x0400_0000;
+const R2_BASE: u64 = 0x0800_0000;
+
+fn scale_tag(scale: Scale) -> u64 {
+    match scale {
+        Scale::Test => 0,
+        Scale::Paper => 1,
+    }
+}
+
+/// `scale.pick(test_value, paper_value)`.
+fn pick(scale: Scale, test: u64, paper: u64) -> u64 {
+    match scale {
+        Scale::Test => test,
+        Scale::Paper => paper,
+    }
+}
+
+fn finish(workload_name: &'static str, is_fp: bool, p: Program, mem: MemoryImage) -> Workload {
+    let program = compile(&p, &CompilerOptions::default());
+    debug_assert!(program.validate().is_ok(), "{workload_name}: invalid program");
+    debug_assert!(
+        ff_compiler::verify_schedule(&program).is_ok(),
+        "{workload_name}: schedule violates EPIC group rules: {:?}",
+        ff_compiler::verify_schedule(&program)
+    );
+    Workload { name: workload_name, is_fp, program, mem }
+}
+
+/// Appends `ctr -= 1; p1 = ctr != 0; (p1) br target` to `block`.
+fn counter_tail(p: &mut Program, block: BlockId, ctr: u8, target: BlockId) {
+    p.push(block, Inst::new(Op::AddImm).dst(Reg::int(ctr)).src(Reg::int(ctr)).imm(-1));
+    p.push(block, Inst::new(Op::CmpNe).dst(Reg::pred(1)).src(Reg::int(ctr)).src(Reg::int(0)));
+    p.push(block, Inst::new(Op::Br { target }).qp(Reg::pred(1)));
+}
+
+fn mov(p: &mut Program, b: BlockId, r: u8, v: u64) {
+    p.push(b, Inst::new(Op::MovImm).dst(Reg::int(r)).imm(v as i64));
+}
+
+/// Appends `n` independent single-cycle ALU operations over the ballast
+/// registers r40..r47 — the surrounding integer work real loop bodies
+/// carry, which the list scheduler packs into issue groups alongside the
+/// memory operations.
+fn ballast(p: &mut Program, b: BlockId, n: usize) {
+    const OPS: [Op; 4] = [Op::Add, Op::Xor, Op::Sub, Op::Or];
+    for k in 0..n {
+        let d = 40 + (k % 4) as u8;
+        let s = 44 + (k % 4) as u8;
+        p.push(
+            b,
+            Inst::new(OPS[k % OPS.len()]).dst(Reg::int(d)).src(Reg::int(d)).src(Reg::int(s)),
+        );
+    }
+}
+
+/// Appends `n` independent FP adds over f40..f43 (FP ballast).
+fn fp_ballast(p: &mut Program, b: BlockId, n: usize) {
+    for k in 0..n {
+        let d = 40 + (k % 4) as u8;
+        p.push(b, Inst::new(Op::FAdd).dst(Reg::fp(d)).src(Reg::fp(d)).src(Reg::fp(44)));
+    }
+}
+
+/// Appends a wrapped-pointer advance: `ptr = base + ((ptr + step) & mask)`,
+/// using `off` as a temporary. Streams wrap over a power-of-two window so
+/// they stay cache-resident after their first lap.
+fn wrap_advance(p: &mut Program, b: BlockId, ptr: u8, base: u8, mask: u8, off: u8, step: i64) {
+    p.push(b, Inst::new(Op::AddImm).dst(Reg::int(off)).src(Reg::int(ptr)).imm(step));
+    p.push(b, Inst::new(Op::And).dst(Reg::int(off)).src(Reg::int(off)).src(Reg::int(mask)));
+    p.push(b, Inst::new(Op::Add).dst(Reg::int(ptr)).src(Reg::int(base)).src(Reg::int(off)));
+}
+
+// ======================================================================
+// CINT2000-like kernels
+// ======================================================================
+
+/// `mcf` — network simplex. The worst cache behaviour in CINT2000: a
+/// pointer chase over a 2 MB node pool (main-memory misses on the first
+/// lap, L3-latency hops on the second) with *dependent* arc lookups into an
+/// 8 MB pool that miss to main memory on every hop. The chase load forms a
+/// critical SCC, so the compiler inserts a RESTART after it; because the
+/// chase miss is *shorter* than the arc miss it blocks behind, chase
+/// results return mid-pass and restart chains arc prefetches across
+/// iterations — the Figure 1(d) scenario, making mcf the headline
+/// advance-restart benchmark (Figure 8).
+pub fn mcf(scale: Scale) -> Workload {
+    mcf_seeded(scale, 0)
+}
+
+/// Seeded variant of [`mcf`] for sensitivity studies.
+pub fn mcf_seeded(scale: Scale, seed: u64) -> Workload {
+    let mut rng = kernel_rng("mcf", scale_tag(scale) ^ (seed << 8));
+    let nodes = pick(scale, 300, 16_384);
+    let trips = pick(scale, 300, 49_152); // three laps: laps 2-3 chase in L3
+    let node_bytes = 128; // 2 MB node pool, randomly permuted
+    let arc_words = pick(scale, 4_096, 1 << 20); // 8 MB arc pool
+    let mut mem = MemoryImage::new();
+    let first = shuffled_ring(&mut rng, &mut mem, R0_BASE, nodes, node_bytes, |r, k| {
+        if k == 1 {
+            R1_BASE + r.gen_range(0..arc_words) * 8
+        } else {
+            r.gen_range(0..1_000)
+        }
+    });
+    fill_array(&mut rng, &mut mem, R1_BASE, arc_words, |r, _| r.gen_range(0..1_000));
+
+    let mut p = Program::new();
+    let b0 = p.add_block();
+    let b1 = p.add_block();
+    mov(&mut p, b0, 1, first); // node cursor
+    mov(&mut p, b0, 3, 0); // cost accumulator
+    mov(&mut p, b0, 2, trips);
+    p.push(b1, Inst::new(Op::Load).dst(Reg::int(1)).src(Reg::int(1)).region(0));
+    p.push(b1, Inst::new(Op::Load).dst(Reg::int(10)).src(Reg::int(1)).imm(8).region(0));
+    p.push(b1, Inst::new(Op::Load).dst(Reg::int(11)).src(Reg::int(10)).region(1));
+    p.push(b1, Inst::new(Op::Load).dst(Reg::int(12)).src(Reg::int(10)).imm(8).region(1));
+    p.push(b1, Inst::new(Op::Load).dst(Reg::int(14)).src(Reg::int(1)).imm(16).region(0));
+    p.push(b1, Inst::new(Op::Sub).dst(Reg::int(13)).src(Reg::int(11)).src(Reg::int(12)));
+    p.push(b1, Inst::new(Op::Add).dst(Reg::int(3)).src(Reg::int(3)).src(Reg::int(13)));
+    p.push(b1, Inst::new(Op::Add).dst(Reg::int(3)).src(Reg::int(3)).src(Reg::int(14)));
+    ballast(&mut p, b1, 3);
+    counter_tail(&mut p, b1, 2, b1);
+    let b2 = p.add_block();
+    p.push(b2, Inst::new(Op::Halt));
+    finish("mcf", false, p, mem)
+}
+
+/// `gap` — group theory interpreter. A bag-of-pointers traversal with
+/// *segment locality* (runs of nearby nodes punctuated by long jumps) over
+/// a 1 MB pool, with dependent member lookups that are mostly
+/// cache-resident but sometimes cold. The chase SCC is critical and
+/// receives a RESTART (gap benefits from advance restart in Figure 8).
+pub fn gap(scale: Scale) -> Workload {
+    gap_seeded(scale, 0)
+}
+
+/// Seeded variant of [`gap`] for sensitivity studies.
+pub fn gap_seeded(scale: Scale, seed: u64) -> Workload {
+    let mut rng = kernel_rng("gap", scale_tag(scale) ^ (seed << 8));
+    let nodes = pick(scale, 300, 4_096);
+    let trips = pick(scale, 300, 32_768); // eight laps: warm after lap one
+    let node_bytes = 32; // 128 KB pool, 2 nodes per L1 line
+    let hot_words = 1 << 13; // 64 KB hot member region
+    let member_words = pick(scale, 4_096, 1 << 16); // 512 KB member pool
+    let mut mem = MemoryImage::new();
+    let first = clustered_ring(&mut rng, &mut mem, R0_BASE, nodes, node_bytes, 32, |r, k| {
+        if k == 1 {
+            let idx = if r.gen_range(0..100) < 90 {
+                r.gen_range(0..hot_words.min(member_words))
+            } else {
+                r.gen_range(0..member_words)
+            };
+            R1_BASE + idx * 8
+        } else {
+            r.gen_range(0..64)
+        }
+    });
+    fill_array(&mut rng, &mut mem, R1_BASE, member_words, |r, _| r.gen_range(0..256));
+
+    let mut p = Program::new();
+    let b0 = p.add_block();
+    let b1 = p.add_block();
+    mov(&mut p, b0, 1, first);
+    mov(&mut p, b0, 3, 0);
+    mov(&mut p, b0, 2, trips);
+    p.push(b1, Inst::new(Op::Load).dst(Reg::int(1)).src(Reg::int(1)).region(0));
+    p.push(b1, Inst::new(Op::Load).dst(Reg::int(10)).src(Reg::int(1)).imm(8).region(0));
+    p.push(b1, Inst::new(Op::Load).dst(Reg::int(11)).src(Reg::int(10)).region(1));
+    p.push(b1, Inst::new(Op::Load).dst(Reg::int(12)).src(Reg::int(10)).imm(16).region(1));
+    p.push(b1, Inst::new(Op::Xor).dst(Reg::int(13)).src(Reg::int(11)).src(Reg::int(12)));
+    p.push(b1, Inst::new(Op::Add).dst(Reg::int(3)).src(Reg::int(3)).src(Reg::int(13)));
+    ballast(&mut p, b1, 5);
+    counter_tail(&mut p, b1, 2, b1);
+    let b2 = p.add_block();
+    p.push(b2, Inst::new(Op::Halt));
+    finish("gap", false, p, mem)
+}
+
+/// `bzip2` — block-sorting compression. A suffix-pointer walk with segment
+/// locality over a 512 KB pool whose hops feed dependent bucket loads *and*
+/// multi-cycle multiplies — exposing "other" stalls when the misses are
+/// tolerated, as the paper observes. The SCC is critical (RESTART), and the
+/// data-dependent work is if-converted into predication, OpenIMPACT
+/// hyperblock-style.
+pub fn bzip2(scale: Scale) -> Workload {
+    bzip2_seeded(scale, 0)
+}
+
+/// Seeded variant of [`bzip2`] for sensitivity studies.
+pub fn bzip2_seeded(scale: Scale, seed: u64) -> Workload {
+    let mut rng = kernel_rng("bzip2", scale_tag(scale) ^ (seed << 8));
+    let nodes = pick(scale, 300, 4_096);
+    let trips = pick(scale, 300, 32_768); // eight laps
+    let node_bytes = 32; // 128 KB pool
+    let hot_words = 1 << 12; // 32 KB hot buckets
+    let bucket_words = pick(scale, 2_048, 1 << 16); // 512 KB buckets
+    let mut mem = MemoryImage::new();
+    let first = clustered_ring(&mut rng, &mut mem, R0_BASE, nodes, node_bytes, 16, |r, k| {
+        if k == 1 {
+            let idx = if r.gen_range(0..100) < 90 {
+                r.gen_range(0..hot_words.min(bucket_words))
+            } else {
+                r.gen_range(0..bucket_words)
+            };
+            R1_BASE + idx * 8
+        } else {
+            r.gen_range(0..100)
+        }
+    });
+    fill_array(&mut rng, &mut mem, R1_BASE, bucket_words, |r, _| r.gen_range(0..997));
+
+    let mut p = Program::new();
+    let b0 = p.add_block();
+    let b1 = p.add_block();
+    mov(&mut p, b0, 1, first);
+    mov(&mut p, b0, 3, 0);
+    mov(&mut p, b0, 2, trips);
+    mov(&mut p, b0, 9, 50); // predication threshold
+    p.push(b1, Inst::new(Op::Load).dst(Reg::int(1)).src(Reg::int(1)).region(0));
+    p.push(b1, Inst::new(Op::Load).dst(Reg::int(10)).src(Reg::int(1)).imm(8).region(0));
+    p.push(b1, Inst::new(Op::Load).dst(Reg::int(11)).src(Reg::int(10)).region(1));
+    p.push(b1, Inst::new(Op::Load).dst(Reg::int(15)).src(Reg::int(1)).imm(16).region(0));
+    // Multi-cycle work dependent on the chase (ranking multiply).
+    p.push(b1, Inst::new(Op::Mul).dst(Reg::int(12)).src(Reg::int(11)).src(Reg::int(15)));
+    // If-converted data-dependent update (hyperblock predication).
+    p.push(b1, Inst::new(Op::CmpLt).dst(Reg::pred(2)).src(Reg::int(15)).src(Reg::int(9)));
+    p.push(
+        b1,
+        Inst::new(Op::Add).dst(Reg::int(3)).src(Reg::int(3)).src(Reg::int(12)).qp(Reg::pred(2)),
+    );
+    p.push(
+        b1,
+        Inst::new(Op::Xor).dst(Reg::int(3)).src(Reg::int(3)).src(Reg::int(11)).qp(Reg::pred(2)),
+    );
+    ballast(&mut p, b1, 4);
+    counter_tail(&mut p, b1, 2, b1);
+    let b2 = p.add_block();
+    p.push(b2, Inst::new(Op::Halt));
+    finish("bzip2", false, p, mem)
+}
+
+/// `gzip` — LZ77 compression. A wrapped input window hashed into a 32 KB
+/// chain table, with a data-dependent match/no-match branch and a table
+/// update store. Memory stalls are modest; branches are the interesting
+/// part.
+pub fn gzip(scale: Scale) -> Workload {
+    gzip_seeded(scale, 0)
+}
+
+/// Seeded variant of [`gzip`] for sensitivity studies.
+pub fn gzip_seeded(scale: Scale, seed: u64) -> Workload {
+    let mut rng = kernel_rng("gzip", scale_tag(scale) ^ (seed << 8));
+    let trips = pick(scale, 400, 40_000);
+    let window_words = pick(scale, 1_024, 1 << 13); // 64 KB input window
+    let table_words = pick(scale, 1_024, 1 << 12); // 32 KB hash table
+    let mut mem = MemoryImage::new();
+    fill_array(&mut rng, &mut mem, R0_BASE, window_words, |r, _| r.gen());
+    fill_array(&mut rng, &mut mem, R1_BASE, table_words, |r, _| r.gen_range(0..100));
+
+    let mut p = Program::new();
+    let b0 = p.add_block();
+    let b_loop = p.add_block();
+    let b_then = p.add_block();
+    let b_tail = p.add_block();
+    let b_done = p.add_block();
+    mov(&mut p, b0, 1, R0_BASE); // input cursor
+    mov(&mut p, b0, 7, R0_BASE); // window base
+    mov(&mut p, b0, 6, (window_words - 1) * 8); // window mask
+    mov(&mut p, b0, 2, trips); // counter
+    mov(&mut p, b0, 4, R1_BASE); // table base
+    mov(&mut p, b0, 5, (table_words - 1) * 8); // table index mask
+    mov(&mut p, b0, 9, 30); // match threshold (~30% matches)
+    mov(&mut p, b0, 8, 2_654_435_761);
+    p.push(b_loop, Inst::new(Op::Load).dst(Reg::int(10)).src(Reg::int(1)).region(0));
+    p.push(b_loop, Inst::new(Op::Mul).dst(Reg::int(11)).src(Reg::int(10)).src(Reg::int(8)));
+    p.push(b_loop, Inst::new(Op::Shr).dst(Reg::int(11)).src(Reg::int(11)).imm(7));
+    p.push(b_loop, Inst::new(Op::And).dst(Reg::int(11)).src(Reg::int(11)).src(Reg::int(5)));
+    p.push(b_loop, Inst::new(Op::Add).dst(Reg::int(12)).src(Reg::int(4)).src(Reg::int(11)));
+    p.push(b_loop, Inst::new(Op::Load).dst(Reg::int(13)).src(Reg::int(12)).region(1));
+    ballast(&mut p, b_loop, 6);
+    p.push(b_loop, Inst::new(Op::CmpLt).dst(Reg::pred(2)).src(Reg::int(13)).src(Reg::int(9)));
+    p.push(b_loop, Inst::new(Op::Br { target: b_tail }).qp(Reg::pred(2)));
+    // then: a match — longer path with a table update.
+    p.push(b_then, Inst::new(Op::Add).dst(Reg::int(3)).src(Reg::int(3)).src(Reg::int(13)));
+    p.push(b_then, Inst::new(Op::AddImm).dst(Reg::int(14)).src(Reg::int(13)).imm(1));
+    p.push(b_then, Inst::new(Op::Store).src(Reg::int(12)).src(Reg::int(14)).region(1));
+    ballast(&mut p, b_then, 3);
+    // tail: advance input within the window, count down.
+    wrap_advance(&mut p, b_tail, 1, 7, 6, 30, 8);
+    counter_tail(&mut p, b_tail, 2, b_loop);
+    p.push(b_done, Inst::new(Op::Halt));
+    finish("gzip", false, p, mem)
+}
+
+/// `vpr` — placement/routing. A wrapped net stream gathers from two 1 MB
+/// cost tables with a 75% hot / 25% cold mixture (mostly L1/L2 hits, some
+/// L3/memory), a semi-predictable accept/reject branch, and an in-place
+/// cost update store.
+pub fn vpr(scale: Scale) -> Workload {
+    vpr_seeded(scale, 0)
+}
+
+/// Seeded variant of [`vpr`] for sensitivity studies.
+pub fn vpr_seeded(scale: Scale, seed: u64) -> Workload {
+    let mut rng = kernel_rng("vpr", scale_tag(scale) ^ (seed << 8));
+    let trips = pick(scale, 400, 30_000);
+    let stream_words = pick(scale, 1_024, 1 << 14); // 128 KB index stream
+    let hot_words = 1 << 12; // 32 KB hot region
+    let table_words = pick(scale, 4_096, 1 << 16); // 512 KB per table
+    let mut mem = MemoryImage::new();
+    fill_indices_mixed(
+        &mut rng,
+        &mut mem,
+        R0_BASE,
+        stream_words,
+        hot_words.min(table_words),
+        table_words,
+        88,
+    );
+    fill_array(&mut rng, &mut mem, R1_BASE, table_words, |r, _| r.gen_range(0..1_000));
+    fill_array(&mut rng, &mut mem, R2_BASE, table_words, |r, _| r.gen_range(0..1_000));
+
+    let mut p = Program::new();
+    let b0 = p.add_block();
+    let b_loop = p.add_block();
+    let b_then = p.add_block();
+    let b_tail = p.add_block();
+    let b_done = p.add_block();
+    mov(&mut p, b0, 1, R0_BASE);
+    mov(&mut p, b0, 7, R0_BASE); // stream base
+    mov(&mut p, b0, 6, (stream_words - 1) * 8); // stream mask
+    mov(&mut p, b0, 2, trips);
+    mov(&mut p, b0, 4, R1_BASE);
+    mov(&mut p, b0, 5, R2_BASE);
+    p.push(b_loop, Inst::new(Op::Load).dst(Reg::int(10)).src(Reg::int(1)).region(0));
+    p.push(b_loop, Inst::new(Op::Shl).dst(Reg::int(11)).src(Reg::int(10)).imm(3));
+    p.push(b_loop, Inst::new(Op::Add).dst(Reg::int(12)).src(Reg::int(4)).src(Reg::int(11)));
+    p.push(b_loop, Inst::new(Op::Add).dst(Reg::int(13)).src(Reg::int(5)).src(Reg::int(11)));
+    p.push(b_loop, Inst::new(Op::Load).dst(Reg::int(14)).src(Reg::int(12)).region(1));
+    p.push(b_loop, Inst::new(Op::Load).dst(Reg::int(15)).src(Reg::int(13)).region(2));
+    ballast(&mut p, b_loop, 6);
+    p.push(b_loop, Inst::new(Op::CmpLt).dst(Reg::pred(2)).src(Reg::int(14)).src(Reg::int(15)));
+    p.push(b_loop, Inst::new(Op::Br { target: b_tail }).qp(Reg::pred(2)));
+    // then: accept the move — swap-ish update.
+    p.push(b_then, Inst::new(Op::Add).dst(Reg::int(16)).src(Reg::int(14)).src(Reg::int(15)));
+    p.push(b_then, Inst::new(Op::Shr).dst(Reg::int(16)).src(Reg::int(16)).imm(1));
+    p.push(b_then, Inst::new(Op::Store).src(Reg::int(12)).src(Reg::int(16)).region(1));
+    p.push(b_then, Inst::new(Op::Add).dst(Reg::int(3)).src(Reg::int(3)).src(Reg::int(16)));
+    wrap_advance(&mut p, b_tail, 1, 7, 6, 30, 8);
+    counter_tail(&mut p, b_tail, 2, b_loop);
+    p.push(b_done, Inst::new(Op::Halt));
+    finish("vpr", false, p, mem)
+}
+
+/// `parser` — link grammar. A short dictionary chase (128 KB,
+/// L2-resident) per input token with an unpredictable hash-compare branch;
+/// misses are shorter and more diffuse than mcf's.
+pub fn parser(scale: Scale) -> Workload {
+    parser_seeded(scale, 0)
+}
+
+/// Seeded variant of [`parser`] for sensitivity studies.
+pub fn parser_seeded(scale: Scale, seed: u64) -> Workload {
+    let mut rng = kernel_rng("parser", scale_tag(scale) ^ (seed << 8));
+    let trips = pick(scale, 400, 30_000);
+    let window_words = pick(scale, 1_024, 1 << 13); // 64 KB token window
+    let dict_words = pick(scale, 4_096, 1 << 14); // 128 KB dictionary
+    let mut mem = MemoryImage::new();
+    fill_array(&mut rng, &mut mem, R0_BASE, window_words, |r, _| r.gen());
+    let entries = dict_words / 4;
+    for e in 0..entries {
+        let a = R1_BASE + e * 32;
+        mem.store(a, rng.gen_range(0..1_000));
+        let link = R1_BASE + rng.gen_range(0..entries) * 32;
+        mem.store(a + 8, link);
+        mem.store(a + 16, rng.gen_range(0..100));
+    }
+
+    let mut p = Program::new();
+    let b0 = p.add_block();
+    let b_loop = p.add_block();
+    let b_then = p.add_block();
+    let b_tail = p.add_block();
+    let b_done = p.add_block();
+    mov(&mut p, b0, 1, R0_BASE);
+    mov(&mut p, b0, 7, R0_BASE); // window base
+    mov(&mut p, b0, 6, (window_words - 1) * 8); // window mask
+    mov(&mut p, b0, 2, trips);
+    mov(&mut p, b0, 4, R1_BASE);
+    mov(&mut p, b0, 5, (entries - 1) * 32);
+    mov(&mut p, b0, 9, 500);
+    p.push(b_loop, Inst::new(Op::Load).dst(Reg::int(10)).src(Reg::int(1)).region(0));
+    p.push(b_loop, Inst::new(Op::And).dst(Reg::int(11)).src(Reg::int(10)).src(Reg::int(5)));
+    p.push(b_loop, Inst::new(Op::Shr).dst(Reg::int(11)).src(Reg::int(11)).imm(5));
+    p.push(b_loop, Inst::new(Op::Shl).dst(Reg::int(11)).src(Reg::int(11)).imm(5));
+    p.push(b_loop, Inst::new(Op::Add).dst(Reg::int(12)).src(Reg::int(4)).src(Reg::int(11)));
+    p.push(b_loop, Inst::new(Op::Load).dst(Reg::int(14)).src(Reg::int(12)).region(1));
+    ballast(&mut p, b_loop, 5);
+    p.push(b_loop, Inst::new(Op::CmpLt).dst(Reg::pred(2)).src(Reg::int(14)).src(Reg::int(9)));
+    p.push(b_loop, Inst::new(Op::Br { target: b_tail }).qp(Reg::pred(2)));
+    p.push(b_then, Inst::new(Op::Load).dst(Reg::int(15)).src(Reg::int(12)).imm(16).region(1));
+    p.push(b_then, Inst::new(Op::Add).dst(Reg::int(3)).src(Reg::int(3)).src(Reg::int(15)));
+    wrap_advance(&mut p, b_tail, 1, 7, 6, 30, 8);
+    counter_tail(&mut p, b_tail, 2, b_loop);
+    p.push(b_done, Inst::new(Op::Halt));
+    finish("parser", false, p, mem)
+}
+
+/// `vortex` — object database. A wrapped object stream drives three-level
+/// indirection (object table → attribute block → value) where attribute
+/// pointers are 70% hot / 30% cold over a 1 MB heap: chained short misses,
+/// but no loop-carried load SCC, so no RESTART.
+pub fn vortex(scale: Scale) -> Workload {
+    vortex_seeded(scale, 0)
+}
+
+/// Seeded variant of [`vortex`] for sensitivity studies.
+pub fn vortex_seeded(scale: Scale, seed: u64) -> Workload {
+    let mut rng = kernel_rng("vortex", scale_tag(scale) ^ (seed << 8));
+    let trips = pick(scale, 400, 12_500); // x4 unroll => 50k lookups
+    let stream_words = pick(scale, 1_024, 1 << 13); // 64 KB object stream
+    let hot_attr = 1 << 13; // 64 KB hot attribute region
+    let attr_words = pick(scale, 4_096, 1 << 15); // 256 KB attribute heap
+    let mut mem = MemoryImage::new();
+    fill_array(&mut rng, &mut mem, R0_BASE, stream_words, |r, _| {
+        let idx = if r.gen_range(0..100) < 85 {
+            r.gen_range(0..hot_attr.min(attr_words))
+        } else {
+            r.gen_range(0..attr_words)
+        };
+        R1_BASE + idx * 8
+    });
+    fill_array(&mut rng, &mut mem, R1_BASE, attr_words, |r, _| r.gen_range(0..10_000));
+
+    let mut p = Program::new();
+    let b0 = p.add_block();
+    let b1 = p.add_block();
+    mov(&mut p, b0, 1, R0_BASE);
+    mov(&mut p, b0, 7, R0_BASE); // stream base
+    mov(&mut p, b0, 6, (stream_words - 1) * 8); // stream mask
+    mov(&mut p, b0, 2, trips);
+    // Unrolled x4: four independent object lookups per iteration
+    // (object pointer from the stream, then two attribute words).
+    for lane in 0..4u8 {
+        let t = 10 + lane * 5;
+        p.push(
+            b1,
+            Inst::new(Op::Load).dst(Reg::int(t)).src(Reg::int(1)).imm(8 * lane as i64).region(0),
+        );
+        p.push(b1, Inst::new(Op::Load).dst(Reg::int(t + 2)).src(Reg::int(t)).region(1));
+        p.push(
+            b1,
+            Inst::new(Op::Load).dst(Reg::int(t + 3)).src(Reg::int(t)).imm(8).region(1),
+        );
+        ballast(&mut p, b1, 1);
+        p.push(
+            b1,
+            Inst::new(Op::Add).dst(Reg::int(t + 4)).src(Reg::int(t + 2)).src(Reg::int(t + 3)),
+        );
+        p.push(b1, Inst::new(Op::Add).dst(Reg::int(3)).src(Reg::int(3)).src(Reg::int(t + 4)));
+    }
+    ballast(&mut p, b1, 6);
+    wrap_advance(&mut p, b1, 1, 7, 6, 30, 32);
+    counter_tail(&mut p, b1, 2, b1);
+    let b2 = p.add_block();
+    p.push(b2, Inst::new(Op::Halt));
+    finish("vortex", false, p, mem)
+}
+
+/// `twolf` — standard-cell placement. Cache-resident cell reads drive
+/// *highly unpredictable* branches while a mixed hot/cold net table
+/// supplies the longer misses: the benchmark where multipass's advance
+/// branch resolution cuts front-end stalls (the paper reports a 29%
+/// front-end reduction). The branch-deciding loads hit the L1/L2, so
+/// advance execution resolves the branches while a net-table miss is
+/// outstanding.
+pub fn twolf(scale: Scale) -> Workload {
+    twolf_seeded(scale, 0)
+}
+
+/// Seeded variant of [`twolf`] for sensitivity studies.
+pub fn twolf_seeded(scale: Scale, seed: u64) -> Workload {
+    let mut rng = kernel_rng("twolf", scale_tag(scale) ^ (seed << 8));
+    let trips = pick(scale, 400, 30_000);
+    let stream_words = pick(scale, 1_024, 1 << 13); // 64 KB net stream
+    let cell_words = pick(scale, 1_024, 1 << 13); // 64 KB cell pool (hot)
+    let hot_net = 1 << 12; // 32 KB hot nets
+    let net_words = pick(scale, 2_048, 1 << 17); // 1 MB net table
+    let mut mem = MemoryImage::new();
+    fill_indices_mixed(
+        &mut rng,
+        &mut mem,
+        R2_BASE,
+        stream_words,
+        hot_net.min(net_words),
+        net_words,
+        80,
+    );
+    fill_array(&mut rng, &mut mem, R0_BASE, cell_words, |r, _| r.gen_range(0..100));
+    fill_array(&mut rng, &mut mem, R1_BASE, net_words, |r, _| r.gen_range(0..1_000));
+
+    let mut p = Program::new();
+    let b0 = p.add_block();
+    let b_loop = p.add_block();
+    let b_then = p.add_block();
+    let b_tail = p.add_block();
+    let b_done = p.add_block();
+    mov(&mut p, b0, 1, R0_BASE); // cell pool base
+    mov(&mut p, b0, 2, trips);
+    mov(&mut p, b0, 4, R1_BASE); // net table base
+    mov(&mut p, b0, 5, (cell_words - 1) * 8);
+    mov(&mut p, b0, 9, 50);
+    mov(&mut p, b0, 20, R2_BASE); // net stream cursor
+    mov(&mut p, b0, 21, R2_BASE); // net stream base
+    mov(&mut p, b0, 22, (stream_words - 1) * 8); // net stream mask
+    // Cold-ish gather from the net table (the miss feeding the trigger).
+    p.push(b_loop, Inst::new(Op::Load).dst(Reg::int(17)).src(Reg::int(20)).region(2));
+    p.push(b_loop, Inst::new(Op::Shl).dst(Reg::int(17)).src(Reg::int(17)).imm(3));
+    p.push(b_loop, Inst::new(Op::Add).dst(Reg::int(18)).src(Reg::int(4)).src(Reg::int(17)));
+    p.push(b_loop, Inst::new(Op::Load).dst(Reg::int(19)).src(Reg::int(18)).region(1));
+    p.push(b_loop, Inst::new(Op::Add).dst(Reg::int(3)).src(Reg::int(3)).src(Reg::int(19)));
+    // Hot cell read deciding a 50/50 branch (L1/L2 resident).
+    p.push(b_loop, Inst::new(Op::Shl).dst(Reg::int(10)).src(Reg::int(2)).imm(4));
+    p.push(b_loop, Inst::new(Op::And).dst(Reg::int(10)).src(Reg::int(10)).src(Reg::int(5)));
+    p.push(b_loop, Inst::new(Op::Add).dst(Reg::int(11)).src(Reg::int(1)).src(Reg::int(10)));
+    p.push(b_loop, Inst::new(Op::Load).dst(Reg::int(12)).src(Reg::int(11)).region(0));
+    ballast(&mut p, b_loop, 3);
+    p.push(b_loop, Inst::new(Op::CmpLt).dst(Reg::pred(2)).src(Reg::int(12)).src(Reg::int(9)));
+    p.push(b_loop, Inst::new(Op::Br { target: b_tail }).qp(Reg::pred(2)));
+    // then: extra integer work on the fall-through path.
+    p.push(b_then, Inst::new(Op::Mul).dst(Reg::int(13)).src(Reg::int(12)).src(Reg::int(12)));
+    p.push(b_then, Inst::new(Op::Add).dst(Reg::int(3)).src(Reg::int(3)).src(Reg::int(13)));
+    ballast(&mut p, b_then, 2);
+    p.push(b_tail, Inst::new(Op::AddImm).dst(Reg::int(3)).src(Reg::int(3)).imm(1));
+    wrap_advance(&mut p, b_tail, 20, 21, 22, 30, 8);
+    counter_tail(&mut p, b_tail, 2, b_loop);
+    p.push(b_done, Inst::new(Op::Halt));
+    finish("twolf", false, p, mem)
+}
+
+// ======================================================================
+// CFP2000-like kernels
+// ======================================================================
+
+/// `art` — neural-network image recognition. Two FP streams strided over
+/// 1 MB windows (every access opens a new L1 line; the first lap misses to
+/// memory, later laps hit the L3): abundant *independent* misses with
+/// multiply-accumulate work and an output store stream. High memory-level
+/// parallelism bounded by the 16 MSHRs.
+pub fn art(scale: Scale) -> Workload {
+    art_seeded(scale, 0)
+}
+
+/// Seeded variant of [`art`] for sensitivity studies.
+pub fn art_seeded(scale: Scale, seed: u64) -> Workload {
+    let mut rng = kernel_rng("art", scale_tag(scale) ^ (seed << 8));
+    let trips = pick(scale, 400, 12_000); // x4 unroll => 48k elements
+    let stride = 64u64;
+    let elems = pick(scale, 512, 1 << 10); // 64 KB window per stream
+    let mut mem = MemoryImage::new();
+    for i in 0..elems {
+        mem.store(R0_BASE + i * stride, random_f64_bits(&mut rng));
+        mem.store(R1_BASE + i * stride, random_f64_bits(&mut rng));
+    }
+
+    let mut p = Program::new();
+    let b0 = p.add_block();
+    let b1 = p.add_block();
+    mov(&mut p, b0, 1, R0_BASE);
+    mov(&mut p, b0, 7, R0_BASE);
+    mov(&mut p, b0, 4, R1_BASE);
+    mov(&mut p, b0, 8, R1_BASE);
+    mov(&mut p, b0, 6, elems * stride - 1); // stream mask
+    mov(&mut p, b0, 5, R2_BASE);
+    mov(&mut p, b0, 21, R2_BASE);
+    mov(&mut p, b0, 22, (1u64 << 16) - 1); // 64 KB output window mask
+    mov(&mut p, b0, 2, trips);
+    // Unrolled x4, as the EPIC compiler would: four independent elements
+    // per iteration give the in-order pipe cross-element ILP.
+    for lane in 0..4u8 {
+        let f = 1 + lane * 10;
+        let off = (lane as i64) * stride as i64;
+        p.push(
+            b1,
+            Inst::new(Op::LoadFp).dst(Reg::fp(f)).src(Reg::int(1)).imm(off).region(0),
+        );
+        p.push(
+            b1,
+            Inst::new(Op::LoadFp).dst(Reg::fp(f + 1)).src(Reg::int(4)).imm(off).region(1),
+        );
+        p.push(b1, Inst::new(Op::FMul).dst(Reg::fp(f + 2)).src(Reg::fp(f)).src(Reg::fp(f + 1)));
+        p.push(
+            b1,
+            Inst::new(Op::FAdd).dst(Reg::fp(f + 3)).src(Reg::fp(f + 3)).src(Reg::fp(f + 2)),
+        );
+        p.push(b1, Inst::new(Op::FCvt).dst(Reg::int(10 + lane)).src(Reg::fp(f + 2)));
+        p.push(
+            b1,
+            Inst::new(Op::Store)
+                .src(Reg::int(5))
+                .src(Reg::int(10 + lane))
+                .imm(8 * lane as i64)
+                .region(2),
+        );
+    }
+    fp_ballast(&mut p, b1, 2);
+    wrap_advance(&mut p, b1, 1, 7, 6, 30, 4 * stride as i64);
+    wrap_advance(&mut p, b1, 4, 8, 6, 31, 4 * stride as i64);
+    wrap_advance(&mut p, b1, 5, 21, 22, 32, 32);
+    counter_tail(&mut p, b1, 2, b1);
+    let b2 = p.add_block();
+    p.push(b2, Inst::new(Op::Halt));
+    finish("art", true, p, mem)
+}
+
+/// `equake` — earthquake FEM. Sparse matrix-vector product: a wrapped
+/// index stream gathers 65% hot / 35% cold from a 512 KB FP vector with an
+/// FP reduction per element.
+pub fn equake(scale: Scale) -> Workload {
+    equake_seeded(scale, 0)
+}
+
+/// Seeded variant of [`equake`] for sensitivity studies.
+pub fn equake_seeded(scale: Scale, seed: u64) -> Workload {
+    let mut rng = kernel_rng("equake", scale_tag(scale) ^ (seed << 8));
+    let trips = pick(scale, 400, 13_500); // x4 unroll => 54k elements
+    let stream_words = pick(scale, 1_024, 1 << 13); // 64 KB index stream
+    let hot_words = 1 << 12; // 32 KB hot vector region
+    let vec_words = pick(scale, 4_096, 1 << 16); // 512 KB FP vector
+    let mut mem = MemoryImage::new();
+    fill_indices_mixed(
+        &mut rng,
+        &mut mem,
+        R0_BASE,
+        stream_words,
+        hot_words.min(vec_words),
+        vec_words,
+        90,
+    );
+    fill_array(&mut rng, &mut mem, R1_BASE, vec_words, |r, _| random_f64_bits(r));
+    fill_array(&mut rng, &mut mem, R2_BASE, stream_words, |r, _| random_f64_bits(r));
+
+    let mut p = Program::new();
+    let b0 = p.add_block();
+    let b1 = p.add_block();
+    mov(&mut p, b0, 1, R0_BASE); // index stream cursor
+    mov(&mut p, b0, 7, R0_BASE);
+    mov(&mut p, b0, 6, (stream_words - 1) * 8);
+    mov(&mut p, b0, 4, R1_BASE); // gather vector
+    mov(&mut p, b0, 5, R2_BASE); // value stream cursor
+    mov(&mut p, b0, 8, R2_BASE);
+    mov(&mut p, b0, 2, trips);
+    // Unrolled x4: four independent gather+reduce lanes per iteration.
+    for lane in 0..4u8 {
+        let f = 1 + lane * 5;
+        let t = 10 + lane * 3;
+        p.push(
+            b1,
+            Inst::new(Op::Load).dst(Reg::int(t)).src(Reg::int(1)).imm(8 * lane as i64).region(0),
+        );
+        p.push(b1, Inst::new(Op::Shl).dst(Reg::int(t + 1)).src(Reg::int(t)).imm(3));
+        p.push(
+            b1,
+            Inst::new(Op::Add).dst(Reg::int(t + 2)).src(Reg::int(4)).src(Reg::int(t + 1)),
+        );
+        p.push(b1, Inst::new(Op::LoadFp).dst(Reg::fp(f)).src(Reg::int(t + 2)).region(1));
+        p.push(
+            b1,
+            Inst::new(Op::LoadFp).dst(Reg::fp(f + 1)).src(Reg::int(5)).imm(8 * lane as i64).region(2),
+        );
+        p.push(b1, Inst::new(Op::FMul).dst(Reg::fp(f + 2)).src(Reg::fp(f)).src(Reg::fp(f + 1)));
+        p.push(
+            b1,
+            Inst::new(Op::FAdd).dst(Reg::fp(f + 3)).src(Reg::fp(f + 3)).src(Reg::fp(f + 2)),
+        );
+    }
+    fp_ballast(&mut p, b1, 2);
+    ballast(&mut p, b1, 3);
+    wrap_advance(&mut p, b1, 1, 7, 6, 30, 32);
+    wrap_advance(&mut p, b1, 5, 8, 6, 31, 32);
+    counter_tail(&mut p, b1, 2, b1);
+    let b2 = p.add_block();
+    p.push(b2, Inst::new(Op::Halt));
+    finish("equake", true, p, mem)
+}
+
+/// `mesa` — software 3D rendering. A sequential vertex stream over a
+/// 256 KB working set with four *independent*, shallow FP chains per
+/// unrolled iteration (the generator unrolls by four, as OpenIMPACT
+/// would): performance is bound by FP latency ("other" stalls) and static
+/// ILP, not by the memory system.
+pub fn mesa(scale: Scale) -> Workload {
+    mesa_seeded(scale, 0)
+}
+
+/// Seeded variant of [`mesa`] for sensitivity studies.
+pub fn mesa_seeded(scale: Scale, seed: u64) -> Workload {
+    let mut rng = kernel_rng("mesa", scale_tag(scale) ^ (seed << 8));
+    let trips = pick(scale, 100, 12_288); // unrolled x8 => 8x elements
+    let ws_words = pick(scale, 1_024, 1 << 12); // 32 KB working set
+    let mut mem = MemoryImage::new();
+    fill_array(&mut rng, &mut mem, R0_BASE, ws_words, |r, _| random_f64_bits(r));
+
+    let mut p = Program::new();
+    let b0 = p.add_block();
+    let b1 = p.add_block();
+    mov(&mut p, b0, 1, R0_BASE);
+    mov(&mut p, b0, 7, R0_BASE);
+    mov(&mut p, b0, 6, (ws_words - 1) * 8);
+    mov(&mut p, b0, 2, trips);
+    // Eight unrolled lanes, each: load, square (fmul), accumulate (fadd).
+    for lane in 0..8u8 {
+        let f = 1 + lane * 3;
+        p.push(
+            b1,
+            Inst::new(Op::LoadFp)
+                .dst(Reg::fp(f))
+                .src(Reg::int(1))
+                .imm(8 * lane as i64)
+                .region(0),
+        );
+        p.push(b1, Inst::new(Op::FMul).dst(Reg::fp(f + 1)).src(Reg::fp(f)).src(Reg::fp(f)));
+        p.push(
+            b1,
+            Inst::new(Op::FAdd).dst(Reg::fp(30 + lane)).src(Reg::fp(30 + lane)).src(Reg::fp(f + 1)),
+        );
+    }
+    ballast(&mut p, b1, 2);
+    wrap_advance(&mut p, b1, 1, 7, 6, 30, 64);
+    counter_tail(&mut p, b1, 2, b1);
+    let b2 = p.add_block();
+    p.push(b2, Inst::new(Op::Halt));
+    finish("mesa", true, p, mem)
+}
+
+/// `ammp` — molecular dynamics. A segment-local atom-list chase (1 MB
+/// pool) whose payload indexes a separate neighbour table (60% hot / 40%
+/// cold over 2 MB) — a second, overlappable miss per hop — followed by FP
+/// force computation.
+pub fn ammp(scale: Scale) -> Workload {
+    ammp_seeded(scale, 0)
+}
+
+/// Seeded variant of [`ammp`] for sensitivity studies.
+pub fn ammp_seeded(scale: Scale, seed: u64) -> Workload {
+    let mut rng = kernel_rng("ammp", scale_tag(scale) ^ (seed << 8));
+    let nodes = pick(scale, 300, 4_096);
+    let trips = pick(scale, 300, 32_768); // eight laps
+    let node_bytes = 32; // 128 KB atom pool
+    let hot_words = 1 << 13; // 64 KB hot neighbours
+    let nbr_words = pick(scale, 4_096, 1 << 16); // 512 KB neighbour table
+    let mut mem = MemoryImage::new();
+    let first = clustered_ring(&mut rng, &mut mem, R0_BASE, nodes, node_bytes, 32, |r, k| {
+        if k == 1 {
+            let idx = if r.gen_range(0..100) < 90 {
+                r.gen_range(0..hot_words.min(nbr_words))
+            } else {
+                r.gen_range(0..nbr_words)
+            };
+            R1_BASE + idx * 8
+        } else {
+            random_f64_bits(r)
+        }
+    });
+    fill_array(&mut rng, &mut mem, R1_BASE, nbr_words, |r, _| random_f64_bits(r));
+
+    let mut p = Program::new();
+    let b0 = p.add_block();
+    let b1 = p.add_block();
+    mov(&mut p, b0, 1, first);
+    mov(&mut p, b0, 2, trips);
+    p.push(b1, Inst::new(Op::Load).dst(Reg::int(1)).src(Reg::int(1)).region(0));
+    p.push(b1, Inst::new(Op::Load).dst(Reg::int(10)).src(Reg::int(1)).imm(8).region(0));
+    p.push(b1, Inst::new(Op::LoadFp).dst(Reg::fp(1)).src(Reg::int(1)).imm(16).region(0));
+    p.push(b1, Inst::new(Op::LoadFp).dst(Reg::fp(2)).src(Reg::int(10)).region(1));
+    p.push(b1, Inst::new(Op::FMul).dst(Reg::fp(3)).src(Reg::fp(1)).src(Reg::fp(2)));
+    p.push(b1, Inst::new(Op::FAdd).dst(Reg::fp(4)).src(Reg::fp(4)).src(Reg::fp(3)));
+    fp_ballast(&mut p, b1, 2);
+    ballast(&mut p, b1, 2);
+    counter_tail(&mut p, b1, 2, b1);
+    let b2 = p.add_block();
+    p.push(b2, Inst::new(Op::Halt));
+    finish("ammp", true, p, mem)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ff_isa::interp::Interpreter;
+
+    fn run_to_halt(w: &Workload) -> ff_isa::ArchState {
+        let mut s = ff_isa::ArchState::new();
+        s.mem = w.mem.clone();
+        let mut i = Interpreter::with_state(&w.program, s);
+        let stop = i.run(50_000_000).unwrap();
+        assert_eq!(stop, ff_isa::interp::StopReason::Halted, "{} hung", w.name);
+        i.into_state()
+    }
+
+    #[test]
+    fn mcf_walks_the_whole_ring() {
+        let w = mcf(Scale::Test);
+        let s = run_to_halt(&w);
+        assert_ne!(s.int(1), 0, "ring cursor stays valid");
+        assert_eq!(s.int(2), 0, "trip counter exhausted");
+        assert_ne!(s.int(3), 0, "accumulator should be non-zero");
+    }
+
+    #[test]
+    fn gzip_updates_its_hash_table() {
+        let w = gzip(Scale::Test);
+        let before = w.mem.clone();
+        let s = run_to_halt(&w);
+        assert!(
+            !s.mem.semantically_eq(&before),
+            "gzip should have written table updates"
+        );
+    }
+
+    #[test]
+    fn art_accumulates_fp() {
+        let w = art(Scale::Test);
+        let s = run_to_halt(&w);
+        assert!(s.fp(4) > 0.0, "dot product should be positive");
+    }
+
+    #[test]
+    fn equake_gathers_within_bounds() {
+        let w = equake(Scale::Test);
+        let s = run_to_halt(&w);
+        assert!(s.fp(4).is_finite());
+        assert!(s.fp(4) > 0.0);
+    }
+
+    #[test]
+    fn mesa_fp_lanes_are_finite() {
+        let w = mesa(Scale::Test);
+        let s = run_to_halt(&w);
+        for lane in 0..8 {
+            assert!(s.fp(30 + lane).is_finite());
+            assert!(s.fp(30 + lane) > 0.0);
+        }
+    }
+
+    #[test]
+    fn ammp_chases_and_computes() {
+        let w = ammp(Scale::Test);
+        let s = run_to_halt(&w);
+        assert_ne!(s.int(1), 0, "ring cursor stays valid");
+        assert!(s.fp(4).is_finite());
+        assert!(s.fp(4) != 0.0);
+    }
+
+    #[test]
+    fn twolf_branches_both_ways() {
+        let w = twolf(Scale::Test);
+        let s = run_to_halt(&w);
+        assert!(s.int(3) > 400, "then-path never executed?");
+    }
+
+    #[test]
+    fn paper_scale_is_bigger_than_test_scale() {
+        let t = mcf(Scale::Test);
+        let p = mcf(Scale::Paper);
+        assert!(p.mem.written_words() > 10 * t.mem.written_words());
+    }
+
+    #[test]
+    fn wrapped_streams_stay_in_their_windows() {
+        // gzip's input cursor must never leave the 64 KB window: all loads
+        // must target initialized regions (would read zeros otherwise and
+        // break the hash distribution).
+        let w = gzip(Scale::Test);
+        let s = run_to_halt(&w);
+        // r1 ends inside [R0_BASE, R0_BASE + window).
+        let r1 = s.int(1);
+        assert!((0x0100_0000..0x0100_0000 + (1 << 13) * 8).contains(&r1), "r1 = {r1:#x}");
+    }
+}

@@ -1,0 +1,33 @@
+//! Reproduces Table 1 at test scale: runs the out-of-order and multipass
+//! models over the benchmark suite, collects per-structure activity, and
+//! prints the Wattch-style peak and average power ratios.
+//!
+//! ```sh
+//! cargo run --release --example power_report
+//! ```
+
+use flea_flicker::experiments::{table1_experiment, Suite};
+use flea_flicker::power::{multipass_structures, out_of_order_structures};
+use flea_flicker::workloads::Scale;
+
+fn main() {
+    // Structure inventory with peak power in model units.
+    println!("out-of-order structures:");
+    for set in out_of_order_structures() {
+        for s in &set.structures {
+            println!("  [{:<15}] {:<48} peak {:>10.0}", set.group, s.name, s.peak);
+        }
+    }
+    println!("multipass structures:");
+    for set in multipass_structures() {
+        for s in &set.structures {
+            println!("  [{:<15}] {:<48} peak {:>10.0}", set.group, s.name, s.peak);
+        }
+    }
+
+    // Table 1 with measured activity.
+    let mut suite = Suite::new(Scale::Test);
+    let rows = table1_experiment(&mut suite);
+    println!("\nTable 1 (ratios > 1 favor multipass):\n");
+    println!("{}", flea_flicker::power::table1::render(&rows));
+}

@@ -1,0 +1,112 @@
+//! Qualitative shape checks on the paper's headline results, run at test
+//! scale (miniature workloads). These are deliberately loose: they assert
+//! orderings and directions — who wins, roughly where — not absolute
+//! numbers, which belong to the paper-scale bench harness.
+
+use flea_flicker::experiments::{
+    figure6, figure7, figure8, realistic_ooo, runahead_compare, table1_experiment, Suite,
+};
+use flea_flicker::workloads::Scale;
+
+fn suite() -> Suite {
+    Suite::new(Scale::Test)
+}
+
+#[test]
+fn figure6_multipass_beats_baseline_on_average() {
+    let f = figure6(&mut suite());
+    assert!(
+        f.mp_speedup() > 1.05,
+        "multipass should clearly beat in-order, got {:.3}",
+        f.mp_speedup()
+    );
+    // Multipass must reduce total stalls.
+    assert!(f.mp_stall_reduction() > 0.10, "stall reduction {:.3}", f.mp_stall_reduction());
+}
+
+#[test]
+fn figure6_mcf_is_the_extreme_memory_benchmark() {
+    let f = figure6(&mut suite());
+    let mcf = f.rows.iter().find(|r| r.bench == "mcf").unwrap();
+    // mcf's baseline is dominated by load stalls…
+    assert!(mcf.base[3] > 0.5, "mcf base load fraction {:.3}", mcf.base[3]);
+    // …and multipass removes a sizable share of them.
+    assert!(
+        f.load_stall_reduction("mcf") > 0.2,
+        "mcf load-stall reduction {:.3}",
+        f.load_stall_reduction("mcf")
+    );
+}
+
+#[test]
+fn figure6_out_of_order_is_the_upper_bound_on_average() {
+    let f = figure6(&mut suite());
+    // Averaged across the suite, ideal OOO should not lose to MP.
+    assert!(f.ooo_over_mp() > 0.95, "OOO/MP {:.3}", f.ooo_over_mp());
+}
+
+#[test]
+fn figure7_gap_narrows_with_restrictive_hierarchies() {
+    let f = figure7(&mut suite());
+    assert_eq!(f.configs.len(), 3);
+    for c in &f.configs {
+        assert!(c.mean_mp() > 1.0, "{}: MP mean {:.3}", c.name, c.mean_mp());
+    }
+    // The paper: "the difference between multipass and out-of-order
+    // performance narrows with the more restrictive hierarchies".
+    let base_gap = f.configs[0].gap();
+    let config2_gap = f.configs[2].gap();
+    assert!(
+        config2_gap < base_gap * 1.10,
+        "gap should not widen appreciably: base {base_gap:.3} vs config2 {config2_gap:.3}"
+    );
+}
+
+#[test]
+fn figure8_restart_matters_most_for_chained_miss_benchmarks() {
+    let mut s = suite();
+    let f = figure8(&mut s);
+    // Without restart, mcf keeps clearly less of its speedup than a
+    // streaming benchmark like art does.
+    let pct = |name: &str| f.rows.iter().find(|r| r.0 == name).map(|r| r.2).unwrap();
+    let mcf = pct("mcf");
+    let art = pct("art");
+    assert!(
+        mcf < art + 35.0,
+        "restart should matter more for mcf (kept {mcf:.0}%) than art (kept {art:.0}%)"
+    );
+}
+
+#[test]
+fn runahead_captures_less_than_multipass() {
+    let r = runahead_compare(&mut suite());
+    let ratio = r.reduction_ratio();
+    // Paper §5.4: about half. Allow a wide band at miniature scale.
+    assert!(
+        (0.1..=1.02).contains(&ratio),
+        "runahead/multipass reduction ratio {ratio:.2} out of band"
+    );
+}
+
+#[test]
+fn multipass_is_competitive_with_realistic_ooo() {
+    let r = realistic_ooo(&mut suite());
+    // Paper §5.2: MP is slightly *faster* (1.05x) than the decentralized
+    // OOO. At miniature scale allow parity within a generous band.
+    assert!(r.mean() > 0.75, "MP vs realistic OOO {:.3}", r.mean());
+}
+
+#[test]
+fn table1_scheduling_structures_favor_multipass_strongly() {
+    let rows = table1_experiment(&mut suite());
+    let sched = rows.iter().find(|r| r.group == "scheduling").unwrap();
+    assert!(sched.peak_ratio > 4.0, "scheduling peak ratio {:.2}", sched.peak_ratio);
+    let mem = rows.iter().find(|r| r.group == "memory ordering").unwrap();
+    assert!(mem.peak_ratio > 1.5, "memory-ordering peak ratio {:.2}", mem.peak_ratio);
+    let reg = rows.iter().find(|r| r.group == "register/data").unwrap();
+    assert!(
+        (0.5..=2.0).contains(&reg.peak_ratio),
+        "register/data peak ratio {:.2} should be near parity",
+        reg.peak_ratio
+    );
+}

@@ -1,0 +1,99 @@
+//! Cross-model architectural equivalence: every execution model must
+//! finish every workload in a final state semantically identical to the
+//! golden interpreter's. This is the repository's primary correctness
+//! oracle — the timing models are also functional interpreters.
+
+use flea_flicker::baselines::{InOrder, OutOfOrder, Runahead};
+use flea_flicker::engine::{ExecutionModel, MachineConfig, SimCase};
+use flea_flicker::isa::interp::Interpreter;
+use flea_flicker::isa::ArchState;
+use flea_flicker::multipass::{Multipass, MultipassConfig};
+use flea_flicker::workloads::{Scale, Workload};
+
+fn interpreter_state(w: &Workload) -> (ArchState, u64) {
+    let mut s = ArchState::new();
+    s.mem = w.mem.clone();
+    let mut i = Interpreter::with_state(&w.program, s);
+    i.run(50_000_000).expect("workload must be valid");
+    assert!(i.is_halted(), "{} did not halt", w.name);
+    let retired = i.retired();
+    (i.into_state(), retired)
+}
+
+fn models(machine: MachineConfig) -> Vec<(&'static str, Box<dyn ExecutionModel>)> {
+    vec![
+        ("inorder", Box::new(InOrder::new(machine))),
+        ("runahead", Box::new(Runahead::new(machine))),
+        ("ooo", Box::new(OutOfOrder::new(machine))),
+        ("ooo-realistic", Box::new(OutOfOrder::realistic(machine))),
+        ("multipass", Box::new(Multipass::new(machine))),
+        (
+            "multipass-noregroup",
+            Box::new(Multipass::with_config(MultipassConfig::without_regrouping(machine))),
+        ),
+        (
+            "multipass-norestart",
+            Box::new(Multipass::with_config(MultipassConfig::without_restart(machine))),
+        ),
+    ]
+}
+
+#[test]
+fn every_model_matches_the_interpreter_on_every_workload() {
+    let machine = MachineConfig::itanium2_base();
+    for w in Workload::all(Scale::Test) {
+        let (golden, retired) = interpreter_state(&w);
+        let case = SimCase::new(&w.program, w.mem.clone());
+        for (name, mut model) in models(machine) {
+            let r = model.run(&case);
+            assert!(
+                r.final_state.semantically_eq(&golden),
+                "{name} diverges from the interpreter on {}",
+                w.name
+            );
+            assert_eq!(
+                r.stats.retired, retired,
+                "{name} retired a different dynamic instruction count on {}",
+                w.name
+            );
+            assert_eq!(
+                r.stats.breakdown.total(),
+                r.stats.cycles,
+                "{name} mis-attributes cycles on {}",
+                w.name
+            );
+        }
+    }
+}
+
+#[test]
+fn models_are_deterministic() {
+    let machine = MachineConfig::itanium2_base();
+    let w = Workload::by_name("bzip2", Scale::Test).unwrap();
+    let case = SimCase::new(&w.program, w.mem.clone());
+    for (name, mut model) in models(machine) {
+        let a = model.run(&case);
+        let b = model.run(&case);
+        assert_eq!(a.stats.cycles, b.stats.cycles, "{name} is nondeterministic");
+        assert_eq!(a.stats.breakdown, b.stats.breakdown, "{name} breakdown varies");
+    }
+}
+
+#[test]
+fn alternative_hierarchies_preserve_semantics() {
+    use flea_flicker::mem::HierarchyConfig;
+    let w = Workload::by_name("vortex", Scale::Test).unwrap();
+    let (golden, _) = interpreter_state(&w);
+    for h in HierarchyConfig::figure7_sweep() {
+        let machine = MachineConfig::itanium2_base().with_hierarchy(h);
+        let case = SimCase::new(&w.program, w.mem.clone());
+        for (name, mut model) in models(machine) {
+            let r = model.run(&case);
+            assert!(
+                r.final_state.semantically_eq(&golden),
+                "{name} diverges under hierarchy {}",
+                h.name
+            );
+        }
+    }
+}
