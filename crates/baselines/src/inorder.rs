@@ -10,8 +10,8 @@
 //! stall cause of the oldest unissued instruction.
 
 use ff_engine::{
-    Activity, ExecutionModel, FuPool, MachineConfig, PendingKind, RunResult, RunStats, Scoreboard,
-    SimCase, StallKind,
+    Activity, ExecutionModel, FuPool, MachineConfig, PendingKind, RetireEvent, RetireHook,
+    RetireMode, RunResult, RunStats, Scoreboard, SimCase, StallKind,
 };
 use ff_frontend::{FetchUnit, Gshare};
 use ff_isa::eval::{alu, effective_address};
@@ -43,7 +43,7 @@ impl ExecutionModel for InOrder {
         "inorder"
     }
 
-    fn run(&mut self, case: &SimCase<'_>) -> RunResult {
+    fn run_hooked(&mut self, case: &SimCase<'_>, hook: &mut dyn RetireHook) -> RunResult {
         let program = case.program;
         let cfg = &self.config;
         let mut state: ArchState = case.initial_state();
@@ -58,6 +58,7 @@ impl ExecutionModel for InOrder {
         let mut fu = FuPool::new(cfg);
         let mut stats = RunStats::default();
         let mut activity = Activity::new();
+        let hook_enabled = hook.enabled();
 
         let mut now: u64 = 0;
         let mut halted = false;
@@ -96,6 +97,7 @@ impl ExecutionModel for InOrder {
                 activity.regfile_reads += inst.reads().count() as u64;
                 let ends_group = inst.ends_group();
                 let mut flushed = false;
+                let mut stored = None;
 
                 if qp_true {
                     match inst.op() {
@@ -147,6 +149,7 @@ impl ExecutionModel for InOrder {
                             let addr = effective_address(base, inst.imm_val());
                             state.mem.store(addr, data);
                             let _ = mem.access(addr, AccessKind::DataWrite, now);
+                            stored = Some((addr, data));
                             stats.executions += 1;
                         }
                         Op::Nop | Op::Restart => {}
@@ -156,11 +159,7 @@ impl ExecutionModel for InOrder {
                             let v = alu(op, a, b, inst.imm_val());
                             if let Some(d) = inst.writes() {
                                 state.write(d, v);
-                                sb.set_pending(
-                                    d,
-                                    now + op.latency() as u64,
-                                    PendingKind::Exec,
-                                );
+                                sb.set_pending(d, now + op.latency() as u64, PendingKind::Exec);
                                 activity.regfile_writes += 1;
                             }
                             stats.executions += 1;
@@ -187,6 +186,24 @@ impl ExecutionModel for InOrder {
                     }
                 }
 
+                if hook_enabled {
+                    hook.on_retire(&RetireEvent {
+                        seq,
+                        cycle: now,
+                        pc,
+                        inst: inst.clone(),
+                        qp_true: Some(qp_true),
+                        wrote: if qp_true {
+                            inst.writes().map(|d| (d, state.read(d)))
+                        } else {
+                            None
+                        },
+                        stored,
+                        mode: RetireMode::Architectural,
+                        merged: false,
+                        episode: None,
+                    });
+                }
                 fetch.pop_front();
                 stats.retired += 1;
                 issued_this_cycle += 1;
@@ -332,11 +349,7 @@ mod tests {
         let r = run_model(&p, mem);
         assert!(r.stats.branches >= 500);
         // A counted loop is highly predictable once trained.
-        assert!(
-            r.stats.mispredict_rate() < 0.10,
-            "mispredict rate {}",
-            r.stats.mispredict_rate()
-        );
+        assert!(r.stats.mispredict_rate() < 0.10, "mispredict rate {}", r.stats.mispredict_rate());
     }
 
     #[test]
@@ -346,10 +359,7 @@ mod tests {
         p.push(b, Inst::new(Op::MovImm).dst(Reg::int(1)).imm(7).stop());
         // Long chain of dependent divides.
         for _ in 0..5 {
-            p.push(
-                b,
-                Inst::new(Op::Div).dst(Reg::int(1)).src(Reg::int(1)).src(Reg::int(1)).stop(),
-            );
+            p.push(b, Inst::new(Op::Div).dst(Reg::int(1)).src(Reg::int(1)).src(Reg::int(1)).stop());
         }
         p.push(b, Inst::new(Op::Halt).stop());
         let r = run_model(&p, MemoryImage::new());

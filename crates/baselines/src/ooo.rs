@@ -19,8 +19,8 @@
 //! and throttle the achievable parallelism.
 
 use ff_engine::{
-    Activity, DynTrace, ExecutionModel, FuPool, MachineConfig, RunResult, RunStats, SimCase,
-    StallKind, TraceInst,
+    Activity, DynTrace, ExecutionModel, FuPool, MachineConfig, RetireEvent, RetireHook, RetireMode,
+    RunResult, RunStats, SimCase, StallKind, TraceInst,
 };
 use ff_frontend::Gshare;
 use ff_isa::{FuClass, Op};
@@ -76,12 +76,13 @@ impl ExecutionModel for OutOfOrder {
         }
     }
 
-    fn run(&mut self, case: &SimCase<'_>) -> RunResult {
+    fn run_hooked(&mut self, case: &SimCase<'_>, hook: &mut dyn RetireHook) -> RunResult {
         let cfg = &self.config;
         let trace = DynTrace::record(case.program, case.initial_state(), case.max_insts)
             .expect("trace recording failed — invalid workload program");
         let insts = trace.insts();
         let n = insts.len();
+        let hook_enabled = hook.enabled();
 
         let mut mem = MemorySystem::new(cfg.hierarchy);
         let mut predictor = Gshare::new(cfg.gshare_entries);
@@ -222,18 +223,15 @@ impl ExecutionModel for OutOfOrder {
             while w < window.len() && issued < cfg.issue_width {
                 let idx = window[w];
                 let ti = &insts[idx];
-                if self.kind == WindowKind::Decentralized
-                    && queue_issued[Self::queue_of(ti)] >= 2
-                {
+                if self.kind == WindowKind::Decentralized && queue_issued[Self::queue_of(ti)] >= 2 {
                     w += 1;
                     continue;
                 }
                 let visible = |d: u64| {
-                    complete[d as usize] != NOT_DONE
-                        && complete[d as usize] + wakeup_delay <= now
+                    complete[d as usize] != NOT_DONE && complete[d as usize] + wakeup_delay <= now
                 };
-                let deps_ready = ti.reg_deps.iter().all(|&d| visible(d))
-                    && ti.mem_dep.is_none_or(visible);
+                let deps_ready =
+                    ti.reg_deps.iter().all(|&d| visible(d)) && ti.mem_dep.is_none_or(visible);
                 if !deps_ready {
                     w += 1;
                     continue;
@@ -305,8 +303,23 @@ impl ExecutionModel for OutOfOrder {
                 && complete[rob_head] != NOT_DONE
                 && complete[rob_head] <= now
             {
-                if matches!(insts[rob_head].inst.op(), Op::Halt) && insts[rob_head].qp_true {
+                let ti = &insts[rob_head];
+                if matches!(ti.inst.op(), Op::Halt) && ti.qp_true {
                     retired_halt = true;
+                }
+                if hook_enabled {
+                    hook.on_retire(&RetireEvent {
+                        seq: ti.seq,
+                        cycle: now,
+                        pc: ti.pc,
+                        inst: ti.inst.clone(),
+                        qp_true: Some(ti.qp_true),
+                        wrote: ti.wrote,
+                        stored: ti.stored,
+                        mode: RetireMode::Architectural,
+                        merged: false,
+                        episode: None,
+                    });
                 }
                 stats.retired += 1;
                 rob_head += 1;
@@ -376,10 +389,7 @@ mod tests {
         p.push(b1, Inst::new(Op::Load).dst(Reg::int(1)).src(Reg::int(1)).stop());
         p.push(b1, Inst::new(Op::Add).dst(Reg::int(4)).src(Reg::int(1)).src(Reg::int(0)).stop());
         p.push(b1, Inst::new(Op::Add).dst(Reg::int(3)).src(Reg::int(3)).src(Reg::int(4)));
-        p.push(
-            b1,
-            Inst::new(Op::CmpNe).dst(Reg::pred(1)).src(Reg::int(4)).src(Reg::int(0)).stop(),
-        );
+        p.push(b1, Inst::new(Op::CmpNe).dst(Reg::pred(1)).src(Reg::int(4)).src(Reg::int(0)).stop());
         p.push(b1, Inst::new(Op::Br { target: b1 }).qp(Reg::pred(1)).stop());
         p.push(b2, Inst::new(Op::Halt).stop());
         let mut mem = MemoryImage::new();
@@ -418,10 +428,7 @@ mod tests {
         p.push(b1, Inst::new(Op::Add).dst(Reg::int(3)).src(Reg::int(3)).src(Reg::int(4)));
         p.push(b1, Inst::new(Op::AddImm).dst(Reg::int(1)).src(Reg::int(1)).imm(8192));
         p.push(b1, Inst::new(Op::AddImm).dst(Reg::int(2)).src(Reg::int(2)).imm(-1).stop());
-        p.push(
-            b1,
-            Inst::new(Op::CmpNe).dst(Reg::pred(1)).src(Reg::int(2)).src(Reg::int(0)).stop(),
-        );
+        p.push(b1, Inst::new(Op::CmpNe).dst(Reg::pred(1)).src(Reg::int(2)).src(Reg::int(0)).stop());
         p.push(b1, Inst::new(Op::Br { target: b1 }).qp(Reg::pred(1)).stop());
         p.push(b2, Inst::new(Op::Halt).stop());
         let mut mem = MemoryImage::new();
@@ -467,10 +474,7 @@ mod tests {
         p.push(b1, Inst::new(Op::Add).dst(Reg::int(3)).src(Reg::int(3)).src(Reg::int(4)));
         p.push(b1, Inst::new(Op::AddImm).dst(Reg::int(1)).src(Reg::int(1)).imm(8192));
         p.push(b1, Inst::new(Op::AddImm).dst(Reg::int(2)).src(Reg::int(2)).imm(-1).stop());
-        p.push(
-            b1,
-            Inst::new(Op::CmpNe).dst(Reg::pred(1)).src(Reg::int(2)).src(Reg::int(0)).stop(),
-        );
+        p.push(b1, Inst::new(Op::CmpNe).dst(Reg::pred(1)).src(Reg::int(2)).src(Reg::int(0)).stop());
         p.push(b1, Inst::new(Op::Br { target: b1 }).qp(Reg::pred(1)).stop());
         p.push(b2, Inst::new(Op::Halt).stop());
         let mut mem = MemoryImage::new();
@@ -537,10 +541,9 @@ mod tests {
         }
         let random_p = build(48);
         let biased_p = build(1000);
-        let r_random = OutOfOrder::new(MachineConfig::default())
-            .run(&SimCase::new(&random_p, mem.clone()));
-        let r_biased =
-            OutOfOrder::new(MachineConfig::default()).run(&SimCase::new(&biased_p, mem));
+        let r_random =
+            OutOfOrder::new(MachineConfig::default()).run(&SimCase::new(&random_p, mem.clone()));
+        let r_biased = OutOfOrder::new(MachineConfig::default()).run(&SimCase::new(&biased_p, mem));
         assert!(r_random.stats.mispredicts > 10);
         assert!(
             r_random.stats.cycles > r_biased.stats.cycles,
@@ -566,16 +569,10 @@ mod tests {
         p.push(b1, Inst::new(Op::Add).dst(Reg::int(3)).src(Reg::int(3)).src(Reg::int(4)));
         p.push(b1, Inst::new(Op::AddImm).dst(Reg::int(1)).src(Reg::int(1)).imm(8192));
         for k in 0..12u8 {
-            p.push(
-                b1,
-                Inst::new(Op::AddImm).dst(Reg::int(10 + k)).src(Reg::int(10 + k)).imm(1),
-            );
+            p.push(b1, Inst::new(Op::AddImm).dst(Reg::int(10 + k)).src(Reg::int(10 + k)).imm(1));
         }
         p.push(b1, Inst::new(Op::AddImm).dst(Reg::int(2)).src(Reg::int(2)).imm(-1).stop());
-        p.push(
-            b1,
-            Inst::new(Op::CmpNe).dst(Reg::pred(1)).src(Reg::int(2)).src(Reg::int(0)).stop(),
-        );
+        p.push(b1, Inst::new(Op::CmpNe).dst(Reg::pred(1)).src(Reg::int(2)).src(Reg::int(0)).stop());
         p.push(b1, Inst::new(Op::Br { target: b1 }).qp(Reg::pred(1)).stop());
         p.push(b2, Inst::new(Op::Halt).stop());
         let mut mem = MemoryImage::new();

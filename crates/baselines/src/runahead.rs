@@ -22,8 +22,8 @@
 use std::collections::HashMap;
 
 use ff_engine::{
-    Activity, ExecutionModel, FuPool, MachineConfig, PendingKind, RunResult, RunStats, Scoreboard,
-    SimCase, StallKind,
+    Activity, ExecutionModel, FuPool, MachineConfig, PendingKind, RetireEvent, RetireHook,
+    RetireMode, RunResult, RunStats, Scoreboard, SimCase, StallKind,
 };
 use ff_frontend::{FetchUnit, Gshare};
 use ff_isa::eval::{alu, effective_address};
@@ -101,7 +101,7 @@ impl ExecutionModel for Runahead {
         "runahead"
     }
 
-    fn run(&mut self, case: &SimCase<'_>) -> RunResult {
+    fn run_hooked(&mut self, case: &SimCase<'_>, hook: &mut dyn RetireHook) -> RunResult {
         let program = case.program;
         let cfg = &self.config;
         let mut state: ArchState = case.initial_state();
@@ -116,6 +116,7 @@ impl ExecutionModel for Runahead {
         let mut fu = FuPool::new(cfg);
         let mut stats = RunStats::default();
         let mut activity = Activity::new();
+        let hook_enabled = hook.enabled();
 
         // Runahead episode state: `Some((peek_seq, spec))` while running
         // ahead of a blocking load.
@@ -161,6 +162,7 @@ impl ExecutionModel for Runahead {
                     activity.regfile_reads += inst.reads().count() as u64;
                     let ends_group = inst.ends_group();
                     let mut flushed = false;
+                    let mut stored = None;
 
                     if qp_true {
                         match inst.op() {
@@ -208,6 +210,7 @@ impl ExecutionModel for Runahead {
                                 let addr = effective_address(base, inst.imm_val());
                                 state.mem.store(addr, data);
                                 let _ = mem.access(addr, AccessKind::DataWrite, now);
+                                stored = Some((addr, data));
                                 stats.executions += 1;
                             }
                             Op::Nop | Op::Restart => {}
@@ -217,11 +220,7 @@ impl ExecutionModel for Runahead {
                                 let v = alu(op, a, b, inst.imm_val());
                                 if let Some(d) = inst.writes() {
                                     state.write(d, v);
-                                    sb.set_pending(
-                                        d,
-                                        now + op.latency() as u64,
-                                        PendingKind::Exec,
-                                    );
+                                    sb.set_pending(d, now + op.latency() as u64, PendingKind::Exec);
                                     activity.regfile_writes += 1;
                                 }
                                 stats.executions += 1;
@@ -244,6 +243,24 @@ impl ExecutionModel for Runahead {
                         }
                     }
 
+                    if hook_enabled {
+                        hook.on_retire(&RetireEvent {
+                            seq,
+                            cycle: now,
+                            pc,
+                            inst: inst.clone(),
+                            qp_true: Some(qp_true),
+                            wrote: if qp_true {
+                                inst.writes().map(|d| (d, state.read(d)))
+                            } else {
+                                None
+                            },
+                            stored,
+                            mode: RetireMode::Architectural,
+                            merged: false,
+                            episode: None,
+                        });
+                    }
                     fetch.pop_front();
                     stats.retired += 1;
                     issued_arch += 1;
@@ -383,8 +400,7 @@ impl ExecutionModel for Runahead {
                             let b_ok = inst.src_n(1).is_none() || b.is_some();
                             if let Some(d) = inst.writes() {
                                 if a_ok && b_ok {
-                                    let v =
-                                        alu(op, a.unwrap_or(0), b.unwrap_or(0), inst.imm_val());
+                                    let v = alu(op, a.unwrap_or(0), b.unwrap_or(0), inst.imm_val());
                                     spec.write(
                                         d,
                                         SpecVal::Valid {
@@ -463,10 +479,7 @@ mod tests {
         p.push(b1, Inst::new(Op::Load).dst(Reg::int(2)).src(Reg::int(5)).region(1));
         p.push(b1, Inst::new(Op::AddImm).dst(Reg::int(5)).src(Reg::int(5)).imm(4096).stop());
         p.push(b1, Inst::new(Op::Add).dst(Reg::int(3)).src(Reg::int(3)).src(Reg::int(2)));
-        p.push(
-            b1,
-            Inst::new(Op::CmpNe).dst(Reg::pred(1)).src(Reg::int(4)).src(Reg::int(0)).stop(),
-        );
+        p.push(b1, Inst::new(Op::CmpNe).dst(Reg::pred(1)).src(Reg::int(4)).src(Reg::int(0)).stop());
         p.push(b1, Inst::new(Op::Br { target: b1 }).qp(Reg::pred(1)).stop());
         p.push(b2, Inst::new(Op::Halt).stop());
         let mut mem = MemoryImage::new();
@@ -529,10 +542,7 @@ mod tests {
         let b2 = p.add_block();
         p.push(b0, Inst::new(Op::MovImm).dst(Reg::int(1)).imm(100).stop());
         p.push(b1, Inst::new(Op::AddImm).dst(Reg::int(1)).src(Reg::int(1)).imm(-1));
-        p.push(
-            b1,
-            Inst::new(Op::CmpNe).dst(Reg::pred(1)).src(Reg::int(1)).src(Reg::int(0)).stop(),
-        );
+        p.push(b1, Inst::new(Op::CmpNe).dst(Reg::pred(1)).src(Reg::int(1)).src(Reg::int(0)).stop());
         p.push(b1, Inst::new(Op::Br { target: b1 }).qp(Reg::pred(1)).stop());
         p.push(b2, Inst::new(Op::Halt).stop());
         let case = SimCase::new(&p, MemoryImage::new());

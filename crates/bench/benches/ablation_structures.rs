@@ -27,10 +27,8 @@ fn mean_speedup(machine: MachineConfig, mp_cfg: MultipassConfig, ws: &[Workload]
 
 fn main() {
     let scale = scale_from_env();
-    let ws: Vec<Workload> = BENCHES
-        .iter()
-        .map(|n| Workload::by_name(n, scale).expect("known benchmark"))
-        .collect();
+    let ws: Vec<Workload> =
+        BENCHES.iter().map(|n| Workload::by_name(n, scale).expect("known benchmark")).collect();
     println!("=== Multipass structure ablations ({scale:?} scale; mcf/gap/art/twolf) ===\n");
 
     // ---- instruction-queue capacity (paper: 256 entries) ----
@@ -61,10 +59,7 @@ fn main() {
         let mut machine = MachineConfig::itanium2_base();
         machine.hierarchy.max_outstanding = mshrs;
         let cfg = MultipassConfig::new(machine);
-        println!(
-            "  {mshrs:>2} MSHRs: mean MP speedup {:.3}x",
-            mean_speedup(machine, cfg, &ws)
-        );
+        println!("  {mshrs:>2} MSHRs: mean MP speedup {:.3}x", mean_speedup(machine, cfg, &ws));
     }
 
     // ---- restart mechanism (footnote 1) ----

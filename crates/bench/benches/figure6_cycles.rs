@@ -15,7 +15,10 @@ fn main() {
     println!("=== Figure 6: normalized execution cycles ({scale:?} scale) ===\n");
     println!("{}", render::figure6(&f));
     println!("{}", render::figure6_bars(&f));
-    if let Some(path) = ff_experiments::csv::write_if_configured("figure6_cycles", &ff_experiments::csv::figure6(&f)) {
+    if let Some(path) = ff_experiments::csv::write_if_configured(
+        "figure6_cycles",
+        &ff_experiments::csv::figure6(&f),
+    ) {
         println!("csv written to {}", path.display());
     }
     println!("wall time: {:.1}s", t0.elapsed().as_secs_f64());

@@ -14,7 +14,10 @@ fn main() {
     let f = figure7(&mut suite);
     println!("=== Figure 7: speedups across cache hierarchies ({scale:?} scale) ===\n");
     println!("{}", render::figure7(&f));
-    if let Some(path) = ff_experiments::csv::write_if_configured("figure7_hierarchies", &ff_experiments::csv::figure7(&f)) {
+    if let Some(path) = ff_experiments::csv::write_if_configured(
+        "figure7_hierarchies",
+        &ff_experiments::csv::figure7(&f),
+    ) {
         println!("csv written to {}", path.display());
     }
     println!("wall time: {:.1}s", t0.elapsed().as_secs_f64());

@@ -13,7 +13,10 @@ fn main() {
     let f = figure8(&mut suite);
     println!("=== Figure 8: regrouping / advance-restart ablation ({scale:?} scale) ===\n");
     println!("{}", render::figure8(&f));
-    if let Some(path) = ff_experiments::csv::write_if_configured("figure8_ablation", &ff_experiments::csv::figure8(&f)) {
+    if let Some(path) = ff_experiments::csv::write_if_configured(
+        "figure8_ablation",
+        &ff_experiments::csv::figure8(&f),
+    ) {
         println!("csv written to {}", path.display());
     }
     println!("wall time: {:.1}s", t0.elapsed().as_secs_f64());

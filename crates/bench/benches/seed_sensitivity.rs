@@ -31,5 +31,8 @@ fn main() {
     }
     let lo = means.iter().cloned().fold(f64::INFINITY, f64::min);
     let hi = means.iter().cloned().fold(0.0f64, f64::max);
-    println!("\nspread across seeds: {lo:.3}x .. {hi:.3}x ({:.1}% relative)", 100.0 * (hi - lo) / lo);
+    println!(
+        "\nspread across seeds: {lo:.3}x .. {hi:.3}x ({:.1}% relative)",
+        100.0 * (hi - lo) / lo
+    );
 }

@@ -47,10 +47,7 @@ fn main() {
     let (raw, mem) = gather_loop(20_000);
     let machine = MachineConfig::itanium2_base();
     println!("=== Compiler loop unrolling vs the ideal-OOO gap ===\n");
-    println!(
-        "{:<10} {:>10} {:>10} {:>10} {:>12}",
-        "unroll", "inorder", "MP", "OOO", "inorder/OOO"
-    );
+    println!("{:<10} {:>10} {:>10} {:>10} {:>12}", "unroll", "inorder", "MP", "OOO", "inorder/OOO");
     let mut golden_mem: Option<ff_isa::MemoryImage> = None;
     for factor in [None, Some(2u32), Some(4), Some(6)] {
         let options = ff_compiler::CompilerOptions {

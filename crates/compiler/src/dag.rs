@@ -223,10 +223,7 @@ mod tests {
     fn everything_precedes_the_branch() {
         let block = vec![add(1, 2, 3), Inst::new(Op::Br { target: ff_isa::program::BlockId(0) })];
         let dag = DepDag::build(&block);
-        assert!(dag
-            .edges()
-            .iter()
-            .any(|e| e.kind == DepKind::Control && e.from == 0 && e.to == 1));
+        assert!(dag.edges().iter().any(|e| e.kind == DepKind::Control && e.from == 0 && e.to == 1));
     }
 
     #[test]

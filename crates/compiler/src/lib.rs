@@ -97,9 +97,8 @@ pub fn compile(program: &Program, options: &CompilerOptions) -> Program {
     for bi in 0..with_restarts.num_blocks() {
         let id = out.add_block();
         debug_assert_eq!(id.0 as usize, bi);
-        let block = with_restarts
-            .block(ff_isa::program::BlockId(bi as u32))
-            .expect("block index in range");
+        let block =
+            with_restarts.block(ff_isa::program::BlockId(bi as u32)).expect("block index in range");
         for inst in schedule_block(block) {
             out.push(id, inst);
         }

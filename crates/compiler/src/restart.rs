@@ -63,9 +63,7 @@ pub fn insert_restarts(program: &Program, policy: &RestartPolicy) -> Program {
         for (i, inst) in block.iter().enumerate() {
             out.push(id, inst.clone());
             if critical.contains(&(block_id, i)) {
-                let dst = inst
-                    .dst_reg()
-                    .expect("critical load has a destination register");
+                let dst = inst.dst_reg().expect("critical load has a destination register");
                 out.push(id, Inst::new(Op::Restart).src(dst));
             }
         }

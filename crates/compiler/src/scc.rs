@@ -196,7 +196,13 @@ pub fn loop_sccs(program: &Program) -> Vec<LoopScc> {
             };
             let downstream_variable = count(&down);
             let upstream_variable = count(&up);
-            out.push(LoopScc { block: block_id, members, loads, downstream_variable, upstream_variable });
+            out.push(LoopScc {
+                block: block_id,
+                members,
+                loads,
+                downstream_variable,
+                upstream_variable,
+            });
         }
     }
     out
@@ -244,7 +250,7 @@ mod tests {
         let s = with_load[0];
         assert_eq!(s.block, BlockId(1));
         assert_eq!(s.loads, vec![0]); // the chase load is inst 0 of block 1
-        // Downstream of the chase: the second load (variable latency).
+                                      // Downstream of the chase: the second load (variable latency).
         assert!(s.downstream_variable >= 1);
         assert_eq!(s.upstream_variable, 0);
     }

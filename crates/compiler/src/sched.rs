@@ -200,9 +200,8 @@ mod tests {
     #[test]
     fn respects_fu_mix() {
         // 4 loads + 2 A-type fit (4 M + 2 I); a 5th load must spill over.
-        let block: Vec<Inst> = (1..=5)
-            .map(|i| Inst::new(Op::Load).dst(Reg::int(i)).src(Reg::int(60 + i)))
-            .collect();
+        let block: Vec<Inst> =
+            (1..=5).map(|i| Inst::new(Op::Load).dst(Reg::int(i)).src(Reg::int(60 + i))).collect();
         let s = schedule_block(&block);
         let gs = groups_of(&s);
         assert_eq!(gs.len(), 2);

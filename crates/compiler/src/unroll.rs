@@ -289,10 +289,7 @@ pub fn unroll_loops(program: &Program, factor: u32) -> Program {
                 // The first block doubles as the guard-constant preheader.
                 if b == 0 {
                     for plan in plans.values() {
-                        out.push(
-                            id,
-                            Inst::new(Op::MovImm).dst(plan.k_reg).imm(factor as i64),
-                        );
+                        out.push(id, Inst::new(Op::MovImm).dst(plan.k_reg).imm(factor as i64));
                     }
                 }
             }
@@ -301,15 +298,9 @@ pub fn unroll_loops(program: &Program, factor: u32) -> Program {
                 // Guard: fewer than `factor` iterations left -> remainder.
                 out.push(
                     id,
-                    Inst::new(Op::CmpLt)
-                        .dst(plan.guard_pred)
-                        .src(plan.lp.ctr)
-                        .src(plan.k_reg),
+                    Inst::new(Op::CmpLt).dst(plan.guard_pred).src(plan.lp.ctr).src(plan.k_reg),
                 );
-                out.push(
-                    id,
-                    Inst::new(Op::Br { target: plan.rem_block }).qp(plan.guard_pred),
-                );
+                out.push(id, Inst::new(Op::Br { target: plan.rem_block }).qp(plan.guard_pred));
                 // factor copies of the body, temps renamed per copy.
                 for k in 0..factor {
                     if k == 0 {
@@ -322,10 +313,7 @@ pub fn unroll_loops(program: &Program, factor: u32) -> Program {
                             out.push(id, rename(inst, map));
                         }
                     }
-                    out.push(
-                        id,
-                        Inst::new(Op::AddImm).dst(plan.lp.ctr).src(plan.lp.ctr).imm(-1),
-                    );
+                    out.push(id, Inst::new(Op::AddImm).dst(plan.lp.ctr).src(plan.lp.ctr).imm(-1));
                 }
                 // Unconditional back edge: re-test the guard.
                 out.push(id, Inst::new(Op::Br { target: block_id }));
@@ -344,18 +332,9 @@ pub fn unroll_loops(program: &Program, factor: u32) -> Program {
         // predicate is rewritten on *every* entry — including a zero-trip
         // remainder — so it always holds the value the original do-while
         // loop would have left architecturally (false at exit).
-        out.push(
-            rem,
-            Inst::new(Op::CmpNe).dst(plan.lp.pred).src(plan.lp.ctr).src(Reg::int(0)),
-        );
-        out.push(
-            rem,
-            Inst::new(Op::CmpEq).dst(plan.exit_pred).src(plan.lp.ctr).src(Reg::int(0)),
-        );
-        out.push(
-            rem,
-            Inst::new(Op::Br { target: BlockId(b + 1) }).qp(plan.exit_pred),
-        );
+        out.push(rem, Inst::new(Op::CmpNe).dst(plan.lp.pred).src(plan.lp.ctr).src(Reg::int(0)));
+        out.push(rem, Inst::new(Op::CmpEq).dst(plan.exit_pred).src(plan.lp.ctr).src(Reg::int(0)));
+        out.push(rem, Inst::new(Op::Br { target: BlockId(b + 1) }).qp(plan.exit_pred));
         for inst in body {
             out.push(rem, inst.clone());
         }
@@ -444,11 +423,8 @@ mod tests {
         let u = unroll_loops(&p, 2);
         let block = u.block(BlockId(1)).unwrap();
         // The load temporary r4 must appear under a fresh name in copy 2.
-        let loads: Vec<Reg> = block
-            .iter()
-            .filter(|i| i.op().is_load())
-            .filter_map(|i| i.dst_reg())
-            .collect();
+        let loads: Vec<Reg> =
+            block.iter().filter(|i| i.op().is_load()).filter_map(|i| i.dst_reg()).collect();
         assert_eq!(loads.len(), 2);
         assert_ne!(loads[0], loads[1], "copies must not share the load temp");
     }
@@ -478,10 +454,7 @@ mod tests {
         let b2 = BlockId(2);
         // Insert a use of r4 before the halt.
         let block = p.block_mut(b2).unwrap();
-        block.insert(
-            0,
-            Inst::new(Op::Add).dst(Reg::int(5)).src(Reg::int(4)).src(Reg::int(4)),
-        );
+        block.insert(0, Inst::new(Op::Add).dst(Reg::int(5)).src(Reg::int(4)).src(Reg::int(4)));
         let u = unroll_loops(&p, 4);
         let a = run(&p);
         let b = run(&u);

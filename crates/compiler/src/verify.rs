@@ -137,10 +137,7 @@ mod tests {
         let mut p = Program::new();
         let b0 = p.add_block();
         for i in 1..=20 {
-            p.push(
-                b0,
-                Inst::new(Op::AddImm).dst(Reg::int(i)).src(Reg::int(i / 2)).imm(i as i64),
-            );
+            p.push(b0, Inst::new(Op::AddImm).dst(Reg::int(i)).src(Reg::int(i / 2)).imm(i as i64));
         }
         p.push(b0, Inst::new(Op::Load).dst(Reg::int(30)).src(Reg::int(1)));
         p.push(b0, Inst::new(Op::Mul).dst(Reg::int(31)).src(Reg::int(30)).src(Reg::int(2)));
@@ -205,11 +202,7 @@ mod tests {
 
     #[test]
     fn violations_render() {
-        let v = ScheduleViolation::FuOverflow {
-            block: BlockId(2),
-            group_start: 4,
-            group_len: 7,
-        };
+        let v = ScheduleViolation::FuOverflow { block: BlockId(2), group_start: 4, group_len: 7 };
         assert!(v.to_string().contains("B2"));
         assert!(v.to_string().contains("exceeds"));
     }

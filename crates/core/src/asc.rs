@@ -18,6 +18,11 @@ pub enum AscData {
         /// Whether the store's data was derived from a data-speculative
         /// load (taint propagates to the forwarded value).
         tainted: bool,
+        /// Sequence number of the inserting store. A hit only proves
+        /// consistency back to this point: an intervening *deferred*
+        /// store (unknown address) younger than `seq` may alias the
+        /// word, so such hits must be treated as data speculative.
+        seq: u64,
     },
     /// The store producing this address had an invalid (deferred) data
     /// operand — any load reading it is itself invalid this pass.
@@ -126,7 +131,7 @@ mod tests {
     use super::*;
 
     fn valid(v: u64) -> AscData {
-        AscData::Valid { value: v, tainted: false }
+        AscData::Valid { value: v, tainted: false, seq: 0 }
     }
 
     #[test]
@@ -156,7 +161,7 @@ mod tests {
     #[test]
     fn replacement_marks_set_speculative() {
         let mut asc = AdvanceStoreCache::new(4, 2); // 2 sets of 2 ways
-        // Three distinct words in the same set (stride = 2 words).
+                                                    // Three distinct words in the same set (stride = 2 words).
         asc.insert(0x00, valid(1));
         asc.insert(0x10, valid(2));
         assert_eq!(asc.lookup(0x20), AscLookup::Miss);
@@ -182,11 +187,12 @@ mod tests {
     #[test]
     fn taint_travels_with_data() {
         let mut asc = AdvanceStoreCache::new(64, 2);
-        asc.insert(0x300, AscData::Valid { value: 9, tainted: true });
+        asc.insert(0x300, AscData::Valid { value: 9, tainted: true, seq: 42 });
         match asc.lookup(0x300) {
-            AscLookup::Hit(AscData::Valid { value, tainted }) => {
+            AscLookup::Hit(AscData::Valid { value, tainted, seq }) => {
                 assert_eq!(value, 9);
                 assert!(tainted);
+                assert_eq!(seq, 42);
             }
             other => panic!("unexpected {other:?}"),
         }

@@ -48,6 +48,11 @@ pub struct MultipassConfig {
     /// paper mentions, which lets same-pass consumers wait instead of
     /// deferring.
     pub waw_skip_srf: bool,
+    /// Testing hook for the `ff-debug` triage tooling: when set to `N`,
+    /// the `N`-th result-store merge of a preserved value (0-based, counted
+    /// by `rs_reuses`) XORs the merged value with 1, silently corrupting
+    /// architectural state. `None` (the default) disables the fault.
+    pub fault_corrupt_rs_merge: Option<u64>,
 }
 
 impl MultipassConfig {
@@ -62,6 +67,7 @@ impl MultipassConfig {
             enable_regrouping: true,
             restart: RestartStrategy::Compiler,
             waw_skip_srf: true,
+            fault_corrupt_rs_merge: None,
         }
     }
 

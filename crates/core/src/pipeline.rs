@@ -18,11 +18,12 @@
 //!   data-speculative loads value-wise, and dropping back to architectural
 //!   mode once DEQ catches the high-water PEEK mark.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use ff_engine::{
-    operand_stall, Activity, ExecutionModel, FuPool, MachineConfig, PendingKind, RunResult,
-    RunStats, Scoreboard, SimCase, StallKind,
+    operand_stall, Activity, EpisodeWindow, ExecutionModel, FuPool, MachineConfig, NullRetireHook,
+    PendingKind, RetireEvent, RetireHook, RetireMode, RunResult, RunStats, Scoreboard, SimCase,
+    StallKind,
 };
 use ff_frontend::{FetchUnit, Gshare};
 use ff_isa::eval::{alu, effective_address};
@@ -96,7 +97,10 @@ struct Core<'a> {
     activity: Activity,
     srf: Srf,
     asc: AdvanceStoreCache,
-    entries: HashMap<u64, MpEntry>,
+    /// Multipass per-instruction state, keyed by sequence number. A
+    /// `BTreeMap` keeps squash/drop iteration order-stable so runs are
+    /// bit-for-bit deterministic.
+    entries: BTreeMap<u64, MpEntry>,
     mode: Mode,
     /// PEEK pointer (sequence number) during advance mode.
     peek: u64,
@@ -104,9 +108,10 @@ struct Core<'a> {
     trigger: u64,
     /// Farthest PEEK point of the current episode (rally exit condition).
     peek_high: u64,
-    /// A store with an unknown address was deferred this pass: subsequent
-    /// loads are data speculative (§3.6).
-    deferred_store: bool,
+    /// Youngest store deferred with an unknown address this pass, if any:
+    /// subsequent loads are data speculative (§3.6) unless an ASC hit
+    /// proves a *younger* store to the same word forwarded its data.
+    deferred_store: Option<u64>,
     /// SMAQ occupancy (entries holding a resolved advance address).
     smaq_count: usize,
     /// Issue blocked until this cycle (value-misspeculation flush).
@@ -124,12 +129,17 @@ struct Core<'a> {
     advance_wait_until: u64,
     /// When enabled, records every mode transition as `(cycle, mode)`.
     mode_trace: Option<Vec<(u64, Mode)>>,
+    /// Retirement observer (triage tooling); `hook_enabled` is hoisted so
+    /// the unhooked path never constructs events.
+    hook: &'a mut dyn RetireHook,
+    hook_enabled: bool,
     now: u64,
     halted: bool,
 }
 
 impl<'a> Core<'a> {
-    fn new(config: MultipassConfig, case: &SimCase<'a>) -> Self {
+    fn new(config: MultipassConfig, case: &SimCase<'a>, hook: &'a mut dyn RetireHook) -> Self {
+        let hook_enabled = hook.enabled();
         let machine = config.machine;
         Core {
             cfg: config,
@@ -148,12 +158,12 @@ impl<'a> Core<'a> {
             activity: Activity::new(),
             srf: Srf::new(),
             asc: AdvanceStoreCache::new(config.asc_entries, config.asc_assoc),
-            entries: HashMap::new(),
+            entries: BTreeMap::new(),
             mode: Mode::Architectural,
             peek: 0,
             trigger: 0,
             peek_high: 0,
-            deferred_store: false,
+            deferred_store: None,
             smaq_count: 0,
             stall_until: 0,
             pass_progress: false,
@@ -161,6 +171,8 @@ impl<'a> Core<'a> {
             consec_deferrals: 0,
             advance_wait_until: 0,
             mode_trace: None,
+            hook,
+            hook_enabled,
             now: 0,
             halted: false,
         }
@@ -198,9 +210,28 @@ impl<'a> Core<'a> {
 
     /// Removes multipass state for every entry with `seq >= from`.
     fn squash_entries_from(&mut self, from: u64) {
-        let seqs: Vec<u64> = self.entries.keys().copied().filter(|&s| s >= from).collect();
+        let seqs: Vec<u64> = self.entries.range(from..).map(|(&s, _)| s).collect();
         for s in seqs {
             self.drop_entry(s);
+        }
+    }
+
+    /// [`RetireMode`] corresponding to the current pipeline mode.
+    fn retire_mode(&self) -> RetireMode {
+        match self.mode {
+            Mode::Architectural => RetireMode::Architectural,
+            Mode::Advance => RetireMode::Advance,
+            Mode::Rally => RetireMode::Rally,
+        }
+    }
+
+    /// The advance-episode window reported with retirements outside
+    /// architectural mode.
+    fn episode_window(&self, deq: u64) -> Option<EpisodeWindow> {
+        if self.mode == Mode::Architectural {
+            None
+        } else {
+            Some(EpisodeWindow { trigger: self.trigger, peek: self.peek_high, deq })
         }
     }
 
@@ -256,7 +287,7 @@ impl<'a> Core<'a> {
         self.peek_high = self.peek_high.max(trigger);
         self.srf.clear();
         self.asc.clear();
-        self.deferred_store = false;
+        self.deferred_store = None;
         self.pass_progress = false;
         self.consec_deferrals = 0;
         self.advance_wait_until = 0;
@@ -266,7 +297,7 @@ impl<'a> Core<'a> {
     fn restart_pass(&mut self) {
         self.srf.clear();
         self.asc.clear();
-        self.deferred_store = false;
+        self.deferred_store = None;
         self.peek = self.trigger;
         self.pass_progress = false;
         self.consec_deferrals = 0;
@@ -277,7 +308,7 @@ impl<'a> Core<'a> {
         self.set_mode(Mode::Rally);
         self.srf.clear();
         self.asc.clear();
-        self.deferred_store = false;
+        self.deferred_store = None;
     }
 
     // --------------------------------------------------------- rally/arch
@@ -286,6 +317,7 @@ impl<'a> Core<'a> {
     fn issue_architectural(&mut self) -> (u32, Option<StallKind>) {
         let regroup = self.cfg.enable_regrouping && self.mode != Mode::Architectural;
         let width = self.cfg.machine.issue_width;
+        let program = self.program;
         let mut issued = 0u32;
         let mut stall: Option<StallKind> = None;
         let mut prev_ended_group = false;
@@ -296,10 +328,13 @@ impl<'a> Core<'a> {
             if fe.fetched_at > self.now {
                 break;
             }
-            let inst = fe.inst.clone();
             let pc = fe.pc;
             let predicted_next = fe.predicted_next;
             let snap = fe.history_snapshot;
+            // The fetch buffer holds a verbatim copy of the static
+            // instruction, so borrow the program's original rather than
+            // cloning it into every issue slot.
+            let inst = program.inst(pc).expect("fetched pc is valid");
             let ends_group = inst.ends_group();
             let ent = self.entry(seq);
 
@@ -316,12 +351,14 @@ impl<'a> Core<'a> {
                 // ---- merge a preserved result (E-bit) ----
                 self.activity.rs_reads += 1;
                 self.activity.iq_reads += 1;
+                let mut wrote = None;
+                let mut stored = None;
                 match ent.result.expect("E-bit entry has a result") {
                     RsResult::Value(v) => {
                         if ent.s_bit {
                             // Data-speculative load: reperform the access
                             // using the SMAQ address and verify the value.
-                            if !self.fu.try_issue(&inst, self.now) {
+                            if !self.fu.try_issue(inst, self.now) {
                                 stall = Some(StallKind::Other);
                                 break;
                             }
@@ -351,25 +388,49 @@ impl<'a> Core<'a> {
                                 self.state.write(d, cur);
                                 self.sb.set_pending(d, complete_at, PendingKind::Load);
                                 self.activity.regfile_writes += 1;
+                                wrote = Some((d, cur));
                             }
                         } else if let Some(d) = inst.writes() {
+                            let mut v = v;
+                            if self.cfg.fault_corrupt_rs_merge == Some(self.stats.rs_reuses) {
+                                // Deliberate single-bit corruption used to
+                                // exercise the ff-debug triage path.
+                                v ^= 1;
+                            }
                             self.state.write(d, v);
                             // Result is immediately bypassable (already
                             // computed): no scoreboard pendency.
                             self.sb.set_pending(d, self.now, PendingKind::None);
                             self.activity.regfile_writes += 1;
+                            wrote = Some((d, v));
                         }
                     }
                     RsResult::Nop => {}
                     RsResult::Store { addr, data } => {
-                        if !self.fu.try_issue(&inst, self.now) {
+                        if !self.fu.try_issue(inst, self.now) {
                             stall = Some(StallKind::Other);
                             break;
                         }
                         self.activity.smaq_accesses += 1;
                         self.state.mem.store(addr, data);
                         let _ = self.mem.access(addr, AccessKind::DataWrite, self.now);
+                        stored = Some((addr, data));
                     }
+                }
+                if self.hook_enabled {
+                    let event = RetireEvent {
+                        seq,
+                        cycle: self.now,
+                        pc,
+                        inst: inst.clone(),
+                        qp_true: None,
+                        wrote,
+                        stored,
+                        mode: self.retire_mode(),
+                        merged: true,
+                        episode: self.episode_window(seq),
+                    };
+                    self.hook.on_retire(&event);
                 }
                 self.stats.rs_reuses += 1;
                 self.fetch.pop_front();
@@ -382,16 +443,17 @@ impl<'a> Core<'a> {
                 break;
             } else {
                 // ---- ordinary architectural issue (baseline semantics) ----
-                if let Some(kind) = operand_stall(&inst, &self.sb, self.now) {
+                if let Some(kind) = operand_stall(inst, &self.sb, self.now) {
                     stall = Some(kind);
                     break;
                 }
-                if !self.fu.try_issue(&inst, self.now) {
+                if !self.fu.try_issue(inst, self.now) {
                     stall = Some(StallKind::Other);
                     break;
                 }
                 let qp_true = self.state.read(inst.qp_reg()) != 0;
                 self.activity.regfile_reads += inst.reads().count() as u64;
+                let mut stored = None;
 
                 if qp_true {
                     match inst.op() {
@@ -443,6 +505,7 @@ impl<'a> Core<'a> {
                             let addr = effective_address(base, inst.imm_val());
                             self.state.mem.store(addr, data);
                             let _ = self.mem.access(addr, AccessKind::DataWrite, self.now);
+                            stored = Some((addr, data));
                             self.stats.executions += 1;
                         }
                         Op::Nop | Op::Restart => {}
@@ -483,6 +546,25 @@ impl<'a> Core<'a> {
                     }
                 }
 
+                if self.hook_enabled {
+                    let event = RetireEvent {
+                        seq,
+                        cycle: self.now,
+                        pc,
+                        inst: inst.clone(),
+                        qp_true: Some(qp_true),
+                        wrote: if qp_true {
+                            inst.writes().map(|d| (d, self.state.read(d)))
+                        } else {
+                            None
+                        },
+                        stored,
+                        mode: self.retire_mode(),
+                        merged: false,
+                        episode: self.episode_window(seq),
+                    };
+                    self.hook.on_retire(&event);
+                }
                 self.fetch.pop_front();
                 self.drop_entry(seq);
                 self.activity.iq_reads += 1;
@@ -516,6 +598,7 @@ impl<'a> Core<'a> {
     /// executions performed (the paper's attribution criterion).
     fn issue_advance(&mut self) -> u32 {
         let width = self.cfg.machine.issue_width;
+        let program = self.program;
         let mut slots = 0u32;
         let mut executions = 0u32;
         let mut prev_ended_group = false;
@@ -526,10 +609,11 @@ impl<'a> Core<'a> {
             if fe.fetched_at > self.now {
                 break;
             }
-            let inst = fe.inst.clone();
             let pc = fe.pc;
             let predicted_next = fe.predicted_next;
             let snap = fe.history_snapshot;
+            // Same borrow-not-clone treatment as `issue_architectural`.
+            let inst = program.inst(pc).expect("fetched pc is valid");
             let ends_group = inst.ends_group();
             let ent = self.entry(seq);
             self.activity.iq_reads += 1;
@@ -568,7 +652,7 @@ impl<'a> Core<'a> {
                             self.activity.asc_accesses += 1;
                             self.asc.insert(
                                 addr,
-                                AscData::Valid { value: data, tainted: ent.tainted },
+                                AscData::Valid { value: data, tainted: ent.tainted, seq },
                             );
                         }
                     }
@@ -607,8 +691,7 @@ impl<'a> Core<'a> {
                             let e = self.entries.entry(seq).or_default();
                             e.branch_trained = true;
                         }
-                        let stream_next =
-                            self.entry(seq).resolved_next.unwrap_or(predicted_next);
+                        let stream_next = self.entry(seq).resolved_next.unwrap_or(predicted_next);
                         if stream_next != actual_next {
                             // Early mispredict resolution: redirect fetch.
                             self.stats.early_resolved_mispredicts += 1;
@@ -651,7 +734,7 @@ impl<'a> Core<'a> {
                         self.srf.write(d, SrfVal::Invalid);
                     }
                     if inst.op().is_store() {
-                        self.deferred_store = true;
+                        self.deferred_store = Some(self.deferred_store.map_or(seq, |d| d.max(seq)));
                     }
                 }
                 Some((false, t)) => {
@@ -748,15 +831,21 @@ impl<'a> Core<'a> {
                             self.advance_step(&mut slots, &mut prev_ended_group, ends_group);
                             continue;
                         }
-                        if !self.fu.try_issue(&inst, self.now) {
+                        if !self.fu.try_issue(inst, self.now) {
                             break;
                         }
                         let addr = effective_address(base.0, inst.imm_val());
                         self.set_smaq(seq, addr);
                         self.activity.asc_accesses += 1;
                         match self.asc.lookup(addr) {
-                            AscLookup::Hit(AscData::Valid { value, tainted }) => {
-                                let taint = base.1 | qp_taint | tainted;
+                            AscLookup::Hit(AscData::Valid { value, tainted, seq: store_seq }) => {
+                                // The hit proves consistency only back to the
+                                // forwarding store: a deferred store (unknown
+                                // address) *younger* than it may alias this
+                                // word, making the forwarded value data
+                                // speculative (§3.6).
+                                let s_bit = self.deferred_store.is_some_and(|d| d > store_seq);
+                                let taint = base.1 | qp_taint | tainted | s_bit;
                                 if let Some(d) = inst.writes() {
                                     self.srf.write(
                                         d,
@@ -771,6 +860,7 @@ impl<'a> Core<'a> {
                                 e.e_bit = true;
                                 e.result = Some(RsResult::Value(value));
                                 e.rs_ready_at = self.now + 1;
+                                e.s_bit = s_bit;
                                 e.tainted = taint;
                                 self.activity.rs_writes += 1;
                                 executions += 1;
@@ -783,12 +873,11 @@ impl<'a> Core<'a> {
                                 }
                             }
                             lookup => {
-                                let s_bit = self.deferred_store
+                                let s_bit = self.deferred_store.is_some()
                                     || lookup == AscLookup::MissAfterReplacement;
                                 let taint = base.1 | qp_taint | s_bit;
                                 let v = self.state.mem.load(addr);
-                                match self.mem.access(addr, AccessKind::SpeculativeRead, self.now)
-                                {
+                                match self.mem.access(addr, AccessKind::SpeculativeRead, self.now) {
                                     MemAccess::Done { complete_at, level } => {
                                         executions += 1;
                                         self.stats.executions += 1;
@@ -807,9 +896,7 @@ impl<'a> Core<'a> {
                                                 // when the RS deposit lands.
                                                 self.srf.write(
                                                     d,
-                                                    SrfVal::Pending {
-                                                        arrives_at: complete_at,
-                                                    },
+                                                    SrfVal::Pending { arrives_at: complete_at },
                                                 );
                                             } else {
                                                 self.srf.write(
@@ -836,7 +923,8 @@ impl<'a> Core<'a> {
                         let base = match self.adv_read(inst.src_n(0).expect("store base")) {
                             AdvRead::NotYet => break,
                             AdvRead::Deferred => {
-                                self.deferred_store = true;
+                                self.deferred_store =
+                                    Some(self.deferred_store.map_or(seq, |d| d.max(seq)));
                                 self.advance_step(&mut slots, &mut prev_ended_group, ends_group);
                                 continue;
                             }
@@ -850,11 +938,12 @@ impl<'a> Core<'a> {
                         if self.smaq_count >= self.cfg.smaq_entries
                             && self.entry(seq).smaq_addr.is_none()
                         {
-                            self.deferred_store = true;
+                            self.deferred_store =
+                                Some(self.deferred_store.map_or(seq, |d| d.max(seq)));
                             self.advance_step(&mut slots, &mut prev_ended_group, ends_group);
                             continue;
                         }
-                        if !self.fu.try_issue(&inst, self.now) {
+                        if !self.fu.try_issue(inst, self.now) {
                             break;
                         }
                         let addr = effective_address(base.0, inst.imm_val());
@@ -863,8 +952,10 @@ impl<'a> Core<'a> {
                         match data {
                             Some((dv, dt)) => {
                                 let taint = base.1 | dt | qp_taint;
-                                self.asc
-                                    .insert(addr, AscData::Valid { value: dv, tainted: taint });
+                                self.asc.insert(
+                                    addr,
+                                    AscData::Valid { value: dv, tainted: taint, seq },
+                                );
                                 let e = self.entries.entry(seq).or_default();
                                 e.e_bit = true;
                                 e.result = Some(RsResult::Store { addr, data: dv });
@@ -902,7 +993,7 @@ impl<'a> Core<'a> {
                         };
                         match (a, b) {
                             (Some((av, at)), Some((bv, bt))) => {
-                                if !self.fu.try_issue(&inst, self.now) {
+                                if !self.fu.try_issue(inst, self.now) {
                                     break;
                                 }
                                 let v = alu(op, av, bv, inst.imm_val());
@@ -1065,8 +1156,8 @@ impl ExecutionModel for Multipass {
         }
     }
 
-    fn run(&mut self, case: &SimCase<'_>) -> RunResult {
-        Core::new(self.config, case).run(case)
+    fn run_hooked(&mut self, case: &SimCase<'_>, hook: &mut dyn RetireHook) -> RunResult {
+        Core::new(self.config, case, hook).run(case)
     }
 }
 
@@ -1075,7 +1166,8 @@ impl Multipass {
     /// `(cycle, mode)` — useful for visualizing the
     /// architectural → advance → rally choreography of Figure 4.
     pub fn run_traced(&mut self, case: &SimCase<'_>) -> (RunResult, Vec<(u64, Mode)>) {
-        let mut core = Core::new(self.config, case);
+        let mut null = NullRetireHook;
+        let mut core = Core::new(self.config, case, &mut null);
         core.mode_trace = Some(Vec::new());
         let result = core.run(case);
         (result, core.mode_trace.take().unwrap_or_default())
@@ -1355,10 +1447,8 @@ mod tests {
         let (p, mem) = figure1_workload(48);
         let case = SimCase::new(&p, mem);
         let paper = Multipass::new(MachineConfig::default()).run(&case);
-        let alt = Multipass::with_config(MultipassConfig::with_ideal_waw(
-            MachineConfig::default(),
-        ))
-        .run(&case);
+        let alt = Multipass::with_config(MultipassConfig::with_ideal_waw(MachineConfig::default()))
+            .run(&case);
         assert!(alt.final_state.semantically_eq(&paper.final_state));
         assert_eq!(alt.stats.retired, paper.stats.retired);
     }
@@ -1405,7 +1495,10 @@ mod tests {
         p.push(b0, Inst::new(Op::Store).src(Reg::int(9)).src(Reg::int(10)).stop());
         // S-bit load feeds the branch predicate.
         p.push(b0, Inst::new(Op::Load).dst(Reg::int(11)).src(Reg::int(7)).stop());
-        p.push(b0, Inst::new(Op::CmpNe).dst(Reg::pred(2)).src(Reg::int(11)).src(Reg::int(0)).stop());
+        p.push(
+            b0,
+            Inst::new(Op::CmpNe).dst(Reg::pred(2)).src(Reg::int(11)).src(Reg::int(0)).stop(),
+        );
         p.push(b0, Inst::new(Op::Br { target: b2 }).qp(Reg::pred(2)).stop());
         p.push(b1, Inst::new(Op::AddImm).dst(Reg::int(3)).src(Reg::int(3)).imm(7).stop());
         p.push(b2, Inst::new(Op::Halt).stop());

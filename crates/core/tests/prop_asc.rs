@@ -18,7 +18,8 @@ enum AscOp {
 
 fn arb_op() -> impl Strategy<Value = AscOp> {
     prop_oneof![
-        (0u64..0x800, any::<u64>()).prop_map(|(addr, value)| AscOp::Store { addr: addr * 8, value }),
+        (0u64..0x800, any::<u64>())
+            .prop_map(|(addr, value)| AscOp::Store { addr: addr * 8, value }),
         (0u64..0x800).prop_map(|addr| AscOp::Load { addr: addr * 8 }),
     ]
 }
@@ -34,7 +35,7 @@ proptest! {
         for op in &ops {
             match op {
                 AscOp::Store { addr, value } => {
-                    asc.insert(*addr, AscData::Valid { value: *value, tainted: false });
+                    asc.insert(*addr, AscData::Valid { value: *value, tainted: false, seq: 0 });
                     perfect.insert(*addr, *value);
                 }
                 AscOp::Load { addr } => match asc.lookup(*addr) {
@@ -72,7 +73,7 @@ proptest! {
     ) {
         let mut asc = AdvanceStoreCache::new(64, 2);
         for &a in &stores {
-            asc.insert(a * 8, AscData::Valid { value: a, tainted: false });
+            asc.insert(a * 8, AscData::Valid { value: a, tainted: false, seq: 0 });
         }
         asc.clear();
         for &a in &stores {

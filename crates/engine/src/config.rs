@@ -85,20 +85,11 @@ impl MachineConfig {
             ("L1D Cache".into(), self.hierarchy.l1d.to_string()),
             ("L2 Cache".into(), self.hierarchy.l2.to_string()),
             ("L3 Cache".into(), self.hierarchy.l3.to_string()),
-            (
-                "Max Outstanding Misses".into(),
-                self.hierarchy.max_outstanding.to_string(),
-            ),
+            ("Max Outstanding Misses".into(), self.hierarchy.max_outstanding.to_string()),
             ("Main Memory".into(), format!("{} cycles", self.hierarchy.mm_latency)),
             ("Branch Predictor".into(), format!("{}-entry gshare", self.gshare_entries)),
-            (
-                "Multipass Instruction Queue".into(),
-                format!("{} entry", self.multipass_iq),
-            ),
-            (
-                "Out-of-Order Scheduling Window".into(),
-                format!("{} entry", self.ooo_window),
-            ),
+            ("Multipass Instruction Queue".into(), format!("{} entry", self.multipass_iq)),
+            ("Out-of-Order Scheduling Window".into(), format!("{} entry", self.ooo_window)),
             ("Out-of-Order Reorder Buffer".into(), format!("{} entry", self.ooo_rob)),
             (
                 "Out-of-Order Scheduling and Renaming Stages".into(),

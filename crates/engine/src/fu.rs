@@ -74,9 +74,7 @@ impl FuPool {
                 if take(&mut self.fp_free) {
                     if inst.op().is_unpipelined() {
                         // Occupy the first free FP unit for the op's latency.
-                        if let Some(b) =
-                            self.fp_busy_until.iter_mut().find(|b| **b <= now)
-                        {
+                        if let Some(b) = self.fp_busy_until.iter_mut().find(|b| **b <= now) {
                             *b = now + inst.op().latency() as u64;
                         }
                     }

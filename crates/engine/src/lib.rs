@@ -17,7 +17,9 @@
 //! * [`DynTrace`] — a dynamic trace with dataflow and memory dependence
 //!   links, used by the trace-driven out-of-order timing models;
 //! * [`ExecutionModel`] — the trait every pipeline model implements, and
-//!   [`SimCase`]/[`RunResult`] — its input/output types.
+//!   [`SimCase`]/[`RunResult`] — its input/output types;
+//! * [`RetireHook`]/[`RetireEvent`] — retirement-granularity
+//!   instrumentation consumed by the `ff-debug` triage tooling.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -26,6 +28,7 @@ pub mod activity;
 pub mod config;
 pub mod fu;
 pub mod model;
+pub mod retire;
 pub mod scoreboard;
 pub mod stats;
 pub mod trace;
@@ -34,6 +37,7 @@ pub use activity::Activity;
 pub use config::MachineConfig;
 pub use fu::FuPool;
 pub use model::{ExecutionModel, RunResult, SimCase};
+pub use retire::{EpisodeWindow, NullRetireHook, RetireEvent, RetireHook, RetireMode, RetireRing};
 pub use scoreboard::{operand_stall, PendingKind, Scoreboard};
 pub use stats::{RunStats, StallKind};
 pub use trace::{DynTrace, TraceInst};

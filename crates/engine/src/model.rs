@@ -4,6 +4,7 @@ use ff_isa::{ArchState, MemoryImage, Program};
 use ff_mem::MemStats;
 
 use crate::activity::Activity;
+use crate::retire::{NullRetireHook, RetireHook};
 use crate::stats::RunStats;
 
 /// One simulation input: a compiled program plus its initial data memory.
@@ -55,13 +56,25 @@ pub trait ExecutionModel {
     /// Short name used in experiment output ("inorder", "MP", "OOO", ...).
     fn name(&self) -> &'static str;
 
-    /// Simulates `case` to completion and returns the run's results.
+    /// Simulates `case` to completion, reporting every retired dynamic
+    /// instruction to `hook` in retirement order. The hook must not affect
+    /// timing: `run_hooked` and [`ExecutionModel::run`] produce identical
+    /// [`RunResult`]s.
     ///
     /// # Panics
     ///
     /// Implementations panic if the program exceeds the case's instruction
     /// budget or the configured cycle cap (indicating a malformed workload).
-    fn run(&mut self, case: &SimCase<'_>) -> RunResult;
+    fn run_hooked(&mut self, case: &SimCase<'_>, hook: &mut dyn RetireHook) -> RunResult;
+
+    /// Simulates `case` to completion and returns the run's results.
+    ///
+    /// # Panics
+    ///
+    /// See [`ExecutionModel::run_hooked`].
+    fn run(&mut self, case: &SimCase<'_>) -> RunResult {
+        self.run_hooked(case, &mut NullRetireHook)
+    }
 }
 
 #[cfg(test)]

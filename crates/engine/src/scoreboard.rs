@@ -49,7 +49,10 @@ impl Default for Scoreboard {
 impl Scoreboard {
     /// Creates a scoreboard with every register ready at cycle 0.
     pub fn new() -> Self {
-        Scoreboard { ready_at: vec![0; Reg::FLAT_COUNT], kind: vec![PendingKind::None; Reg::FLAT_COUNT] }
+        Scoreboard {
+            ready_at: vec![0; Reg::FLAT_COUNT],
+            kind: vec![PendingKind::None; Reg::FLAT_COUNT],
+        }
     }
 
     /// Whether `reg` is ready at cycle `now`.

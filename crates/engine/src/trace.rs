@@ -35,6 +35,11 @@ pub struct TraceInst {
     pub addr: Option<u64>,
     /// For branches: whether it was taken.
     pub taken: bool,
+    /// Destination register and value written, when the instruction
+    /// architecturally wrote one.
+    pub wrote: Option<(Reg, u64)>,
+    /// Address and data stored, for stores that executed.
+    pub stored: Option<(u64, u64)>,
 }
 
 impl TraceInst {
@@ -124,6 +129,8 @@ impl DynTrace {
             let mut addr = None;
             let mut mem_dep = None;
             let mut taken = false;
+            let mut wrote = None;
+            let mut stored = None;
             let mut next = program.next_pc(pc);
             let mut halted = false;
 
@@ -142,6 +149,7 @@ impl DynTrace {
                         let v = state.mem.load(a);
                         if let Some(d) = inst.writes() {
                             state.write(d, v);
+                            wrote = Some((d, v));
                         }
                     }
                     Op::Store => {
@@ -150,6 +158,7 @@ impl DynTrace {
                         let a = effective_address(base, inst.imm_val());
                         addr = Some(a);
                         state.mem.store(a, data);
+                        stored = Some((a, data));
                         last_store.insert(ff_isa::MemoryImage::word_addr(a), seq);
                     }
                     Op::Nop | Op::Restart => {}
@@ -159,6 +168,7 @@ impl DynTrace {
                         let v = alu(op, a, b, inst.imm_val());
                         if let Some(d) = inst.writes() {
                             state.write(d, v);
+                            wrote = Some((d, v));
                         }
                     }
                 }
@@ -167,7 +177,18 @@ impl DynTrace {
                 }
             }
 
-            insts.push(TraceInst { seq, pc, inst, qp_true, reg_deps, mem_dep, addr, taken });
+            insts.push(TraceInst {
+                seq,
+                pc,
+                inst,
+                qp_true,
+                reg_deps,
+                mem_dep,
+                addr,
+                taken,
+                wrote,
+                stored,
+            });
             if halted {
                 return Ok(DynTrace { insts, final_state: state });
             }
@@ -281,8 +302,7 @@ mod tests {
     fn branch_outcomes_recorded() {
         let (p, s) = memory_loop();
         let t = DynTrace::record(&p, s, 100_000).unwrap();
-        let branches: Vec<_> =
-            t.insts().iter().filter(|i| i.is_conditional_branch()).collect();
+        let branches: Vec<_> = t.insts().iter().filter(|i| i.is_conditional_branch()).collect();
         assert_eq!(branches.len(), 4);
         assert!(branches[..3].iter().all(|b| b.taken));
         assert!(!branches[3].taken);

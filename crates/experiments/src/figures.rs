@@ -310,14 +310,8 @@ mod tests {
     fn figure8_percentages_are_sane() {
         let f = figure8(&mut suite());
         for (bench, noregroup, norestart) in &f.rows {
-            assert!(
-                (-150.0..=180.0).contains(noregroup),
-                "{bench} noregroup {noregroup}"
-            );
-            assert!(
-                (-150.0..=180.0).contains(norestart),
-                "{bench} norestart {norestart}"
-            );
+            assert!((-150.0..=180.0).contains(noregroup), "{bench} noregroup {noregroup}");
+            assert!((-150.0..=180.0).contains(norestart), "{bench} norestart {norestart}");
         }
     }
 
@@ -332,8 +326,6 @@ mod tests {
     fn table2_matches_paper_values() {
         let rows = table2();
         assert!(rows.iter().any(|(k, v)| k == "Main Memory" && v == "145 cycles"));
-        assert!(rows
-            .iter()
-            .any(|(k, v)| k == "Multipass Instruction Queue" && v == "256 entry"));
+        assert!(rows.iter().any(|(k, v)| k == "Multipass Instruction Queue" && v == "256 entry"));
     }
 }

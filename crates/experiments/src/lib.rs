@@ -22,7 +22,7 @@ pub mod render;
 pub mod suite;
 
 pub use figures::{
-    figure6, figure7, figure8, realistic_ooo, runahead_compare, table1_experiment, table2,
-    Figure6, Figure7, Figure8, RealisticOooResult, RunaheadResult,
+    figure6, figure7, figure8, realistic_ooo, runahead_compare, table1_experiment, table2, Figure6,
+    Figure7, Figure8, RealisticOooResult, RunaheadResult,
 };
 pub use suite::{HierKind, ModelKind, Suite};

@@ -24,14 +24,8 @@ pub fn figure6(f: &Figure6) -> String {
             ));
         }
     }
-    out.push_str(&format!(
-        "\nmean MP speedup over base: {:.2}x  (paper: 1.36x)\n",
-        f.mp_speedup()
-    ));
-    out.push_str(&format!(
-        "mean OOO speedup over MP:  {:.2}x  (paper: 1.14x)\n",
-        f.ooo_over_mp()
-    ));
+    out.push_str(&format!("\nmean MP speedup over base: {:.2}x  (paper: 1.36x)\n", f.mp_speedup()));
+    out.push_str(&format!("mean OOO speedup over MP:  {:.2}x  (paper: 1.14x)\n", f.ooo_over_mp()));
     out.push_str(&format!(
         "mean MP stall reduction:   {:.0}%  (paper: 49%)\n",
         100.0 * f.mp_stall_reduction()

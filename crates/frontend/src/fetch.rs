@@ -272,10 +272,7 @@ impl FetchUnit {
         // next_seq may have been reduced; keep monotonicity with head.
         debug_assert!(self.next_seq >= self.head_seq);
         self.fetch_pc = new_pc;
-        self.fetched_halt = self
-            .buffer
-            .iter()
-            .any(|f| matches!(f.inst.op(), Op::Halt));
+        self.fetched_halt = self.buffer.iter().any(|f| matches!(f.inst.op(), Op::Halt));
         self.blocked_until = self.blocked_until.max(resume_at);
         self.predictor.repair(snapshot, actual_taken);
     }

@@ -65,9 +65,7 @@ fn err(line: usize, message: impl Into<String>) -> ParseAsmError {
 
 fn parse_reg(tok: &str, line: usize) -> Result<Reg, ParseAsmError> {
     let (class, idx) = tok.split_at(1);
-    let index: u8 = idx
-        .parse()
-        .map_err(|_| err(line, format!("bad register index in `{tok}`")))?;
+    let index: u8 = idx.parse().map_err(|_| err(line, format!("bad register index in `{tok}`")))?;
     match class {
         "r" if (index as usize) < crate::reg::NUM_INT_REGS => Ok(Reg::int(index)),
         "f" if (index as usize) < crate::reg::NUM_FP_REGS => Ok(Reg::fp(index)),
@@ -140,16 +138,12 @@ pub fn parse_program(text: &str) -> Result<Program, ParseAsmError> {
         // Block header?
         if let Some(rest) = code.strip_prefix('B') {
             if let Some(numpart) = rest.strip_suffix(':') {
-                let n: u32 = numpart
-                    .parse()
-                    .map_err(|_| err(line, format!("bad block header `{code}`")))?;
+                let n: u32 =
+                    numpart.parse().map_err(|_| err(line, format!("bad block header `{code}`")))?;
                 if n as usize != program.num_blocks() {
                     return Err(err(
                         line,
-                        format!(
-                            "block B{n} out of order (expected B{})",
-                            program.num_blocks()
-                        ),
+                        format!("block B{n} out of order (expected B{})", program.num_blocks()),
                     ));
                 }
                 current = Some(program.add_block());
@@ -199,14 +193,12 @@ pub fn parse_program(text: &str) -> Result<Program, ParseAsmError> {
         while i < toks.len() {
             let t = toks[i];
             if let Some(immtok) = t.strip_prefix('#') {
-                let v: i64 = immtok
-                    .parse()
-                    .map_err(|_| err(line, format!("bad immediate `{t}`")))?;
+                let v: i64 =
+                    immtok.parse().map_err(|_| err(line, format!("bad immediate `{t}`")))?;
                 inst = inst.imm(v);
             } else if let Some(rtok) = t.strip_prefix('@') {
-                let v: u16 = rtok
-                    .parse()
-                    .map_err(|_| err(line, format!("bad alias region `{t}`")))?;
+                let v: u16 =
+                    rtok.parse().map_err(|_| err(line, format!("bad alias region `{t}`")))?;
                 inst = inst.region(v);
             } else {
                 inst = inst.src(parse_reg(t, line)?);

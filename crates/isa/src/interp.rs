@@ -101,6 +101,16 @@ impl<'a> Interpreter<'a> {
         self.halted
     }
 
+    /// The pc of the next instruction to execute (`None` only for invalid
+    /// programs whose control escaped).
+    pub fn pc(&self) -> Option<Pc> {
+        if self.halted {
+            None
+        } else {
+            self.pc
+        }
+    }
+
     /// Executes one dynamic instruction.
     ///
     /// Returns `Ok(true)` if the program is still running, `Ok(false)` once
@@ -116,7 +126,12 @@ impl<'a> Interpreter<'a> {
         }
         let pc = match self.pc {
             Some(pc) => pc,
-            None => return Err(InterpretError::InvalidPc(Pc::new(crate::program::BlockId(u32::MAX), 0))),
+            None => {
+                return Err(InterpretError::InvalidPc(Pc::new(
+                    crate::program::BlockId(u32::MAX),
+                    0,
+                )))
+            }
         };
         let inst = self.program.inst(pc).ok_or(InterpretError::InvalidPc(pc))?;
         let qp = self.state.read(inst.qp_reg()) != 0;

@@ -65,9 +65,7 @@ impl MemoryImage {
     /// Compares two images as mathematical functions (treating absent words
     /// as zero), so an explicit zero store equals an untouched word.
     pub fn semantically_eq(&self, other: &MemoryImage) -> bool {
-        let covers = |a: &MemoryImage, b: &MemoryImage| {
-            a.iter().all(|(addr, v)| b.load(addr) == v)
-        };
+        let covers = |a: &MemoryImage, b: &MemoryImage| a.iter().all(|(addr, v)| b.load(addr) == v);
         covers(self, other) && covers(other, self)
     }
 }

@@ -202,11 +202,8 @@ impl Program {
         }
         // The last instruction in layout order must not allow fall-through
         // off the end: it must be a Halt or an unconditional branch.
-        let last = self
-            .iter()
-            .last()
-            .map(|(_, i)| i)
-            .expect("non-empty program has a last instruction");
+        let last =
+            self.iter().last().map(|(_, i)| i).expect("non-empty program has a last instruction");
         let terminates = match last.op() {
             Op::Halt => true,
             Op::Br { .. } => !last.is_predicated(),

@@ -62,10 +62,7 @@ impl Reg {
     ///
     /// Panics if `index >= NUM_INT_REGS`.
     pub fn int(index: u8) -> Self {
-        assert!(
-            (index as usize) < NUM_INT_REGS,
-            "integer register index {index} out of range"
-        );
+        assert!((index as usize) < NUM_INT_REGS, "integer register index {index} out of range");
         Reg { class: RegClass::Int, index }
     }
 
@@ -75,10 +72,7 @@ impl Reg {
     ///
     /// Panics if `index >= NUM_FP_REGS`.
     pub fn fp(index: u8) -> Self {
-        assert!(
-            (index as usize) < NUM_FP_REGS,
-            "fp register index {index} out of range"
-        );
+        assert!((index as usize) < NUM_FP_REGS, "fp register index {index} out of range");
         Reg { class: RegClass::Fp, index }
     }
 
@@ -88,10 +82,7 @@ impl Reg {
     ///
     /// Panics if `index >= NUM_PRED_REGS`.
     pub fn pred(index: u8) -> Self {
-        assert!(
-            (index as usize) < NUM_PRED_REGS,
-            "predicate register index {index} out of range"
-        );
+        assert!((index as usize) < NUM_PRED_REGS, "predicate register index {index} out of range");
         Reg { class: RegClass::Pred, index }
     }
 

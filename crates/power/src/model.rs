@@ -136,11 +136,7 @@ impl MatrixModel {
     /// Creates a matrix of `entries` × `bits` receiving up to `broadcasts`
     /// result broadcasts per cycle.
     pub fn new(entries: u32, bits: u32, broadcasts: u32) -> Self {
-        MatrixModel {
-            entries: entries as f64,
-            bits: bits as f64,
-            broadcasts: broadcasts as f64,
-        }
+        MatrixModel { entries: entries as f64, bits: bits as f64, broadcasts: broadcasts as f64 }
     }
 
     /// Broadcast ports.

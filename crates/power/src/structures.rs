@@ -215,17 +215,9 @@ mod tests {
         let ooo = out_of_order_structures();
         let mp = multipass_structures();
         let r: Vec<f64> = ooo.iter().zip(mp.iter()).map(|(a, b)| a.peak() / b.peak()).collect();
-        assert!(
-            (0.7..=1.4).contains(&r[0]),
-            "register/data peak ratio {} out of range",
-            r[0]
-        );
+        assert!((0.7..=1.4).contains(&r[0]), "register/data peak ratio {} out of range", r[0]);
         assert!((6.0..=15.0).contains(&r[1]), "scheduling peak ratio {} out of range", r[1]);
-        assert!(
-            (2.0..=6.0).contains(&r[2]),
-            "memory-ordering peak ratio {} out of range",
-            r[2]
-        );
+        assert!((2.0..=6.0).contains(&r[2]), "memory-ordering peak ratio {} out of range", r[2]);
     }
 
     #[test]

@@ -49,10 +49,7 @@ pub fn table1(ooo_activity: &Activity, mp_activity: &Activity) -> Vec<Table1Row>
 /// Renders Table 1 rows as aligned text (used by the bench harness).
 pub fn render(rows: &[Table1Row]) -> String {
     let mut out = String::new();
-    out.push_str(&format!(
-        "{:<18} {:>12} {:>14}\n",
-        "Structures", "Peak Ratio", "Average Ratio"
-    ));
+    out.push_str(&format!("{:<18} {:>12} {:>14}\n", "Structures", "Peak Ratio", "Average Ratio"));
     for r in rows {
         out.push_str(&format!(
             "{:<18} {:>12.2} {:>14.2}\n",

@@ -75,10 +75,7 @@ fn ballast(p: &mut Program, b: BlockId, n: usize) {
     for k in 0..n {
         let d = 40 + (k % 4) as u8;
         let s = 44 + (k % 4) as u8;
-        p.push(
-            b,
-            Inst::new(OPS[k % OPS.len()]).dst(Reg::int(d)).src(Reg::int(d)).src(Reg::int(s)),
-        );
+        p.push(b, Inst::new(OPS[k % OPS.len()]).dst(Reg::int(d)).src(Reg::int(d)).src(Reg::int(s)));
     }
 }
 
@@ -477,10 +474,7 @@ pub fn vortex_seeded(scale: Scale, seed: u64) -> Workload {
             Inst::new(Op::Load).dst(Reg::int(t)).src(Reg::int(1)).imm(8 * lane as i64).region(0),
         );
         p.push(b1, Inst::new(Op::Load).dst(Reg::int(t + 2)).src(Reg::int(t)).region(1));
-        p.push(
-            b1,
-            Inst::new(Op::Load).dst(Reg::int(t + 3)).src(Reg::int(t)).imm(8).region(1),
-        );
+        p.push(b1, Inst::new(Op::Load).dst(Reg::int(t + 3)).src(Reg::int(t)).imm(8).region(1));
         ballast(&mut p, b1, 1);
         p.push(
             b1,
@@ -542,7 +536,7 @@ pub fn twolf_seeded(scale: Scale, seed: u64) -> Workload {
     mov(&mut p, b0, 20, R2_BASE); // net stream cursor
     mov(&mut p, b0, 21, R2_BASE); // net stream base
     mov(&mut p, b0, 22, (stream_words - 1) * 8); // net stream mask
-    // Cold-ish gather from the net table (the miss feeding the trigger).
+                                                 // Cold-ish gather from the net table (the miss feeding the trigger).
     p.push(b_loop, Inst::new(Op::Load).dst(Reg::int(17)).src(Reg::int(20)).region(2));
     p.push(b_loop, Inst::new(Op::Shl).dst(Reg::int(17)).src(Reg::int(17)).imm(3));
     p.push(b_loop, Inst::new(Op::Add).dst(Reg::int(18)).src(Reg::int(4)).src(Reg::int(17)));
@@ -609,19 +603,10 @@ pub fn art_seeded(scale: Scale, seed: u64) -> Workload {
     for lane in 0..4u8 {
         let f = 1 + lane * 10;
         let off = (lane as i64) * stride as i64;
-        p.push(
-            b1,
-            Inst::new(Op::LoadFp).dst(Reg::fp(f)).src(Reg::int(1)).imm(off).region(0),
-        );
-        p.push(
-            b1,
-            Inst::new(Op::LoadFp).dst(Reg::fp(f + 1)).src(Reg::int(4)).imm(off).region(1),
-        );
+        p.push(b1, Inst::new(Op::LoadFp).dst(Reg::fp(f)).src(Reg::int(1)).imm(off).region(0));
+        p.push(b1, Inst::new(Op::LoadFp).dst(Reg::fp(f + 1)).src(Reg::int(4)).imm(off).region(1));
         p.push(b1, Inst::new(Op::FMul).dst(Reg::fp(f + 2)).src(Reg::fp(f)).src(Reg::fp(f + 1)));
-        p.push(
-            b1,
-            Inst::new(Op::FAdd).dst(Reg::fp(f + 3)).src(Reg::fp(f + 3)).src(Reg::fp(f + 2)),
-        );
+        p.push(b1, Inst::new(Op::FAdd).dst(Reg::fp(f + 3)).src(Reg::fp(f + 3)).src(Reg::fp(f + 2)));
         p.push(b1, Inst::new(Op::FCvt).dst(Reg::int(10 + lane)).src(Reg::fp(f + 2)));
         p.push(
             b1,
@@ -688,20 +673,18 @@ pub fn equake_seeded(scale: Scale, seed: u64) -> Workload {
             Inst::new(Op::Load).dst(Reg::int(t)).src(Reg::int(1)).imm(8 * lane as i64).region(0),
         );
         p.push(b1, Inst::new(Op::Shl).dst(Reg::int(t + 1)).src(Reg::int(t)).imm(3));
-        p.push(
-            b1,
-            Inst::new(Op::Add).dst(Reg::int(t + 2)).src(Reg::int(4)).src(Reg::int(t + 1)),
-        );
+        p.push(b1, Inst::new(Op::Add).dst(Reg::int(t + 2)).src(Reg::int(4)).src(Reg::int(t + 1)));
         p.push(b1, Inst::new(Op::LoadFp).dst(Reg::fp(f)).src(Reg::int(t + 2)).region(1));
         p.push(
             b1,
-            Inst::new(Op::LoadFp).dst(Reg::fp(f + 1)).src(Reg::int(5)).imm(8 * lane as i64).region(2),
+            Inst::new(Op::LoadFp)
+                .dst(Reg::fp(f + 1))
+                .src(Reg::int(5))
+                .imm(8 * lane as i64)
+                .region(2),
         );
         p.push(b1, Inst::new(Op::FMul).dst(Reg::fp(f + 2)).src(Reg::fp(f)).src(Reg::fp(f + 1)));
-        p.push(
-            b1,
-            Inst::new(Op::FAdd).dst(Reg::fp(f + 3)).src(Reg::fp(f + 3)).src(Reg::fp(f + 2)),
-        );
+        p.push(b1, Inst::new(Op::FAdd).dst(Reg::fp(f + 3)).src(Reg::fp(f + 3)).src(Reg::fp(f + 2)));
     }
     fp_ballast(&mut p, b1, 2);
     ballast(&mut p, b1, 3);
@@ -742,11 +725,7 @@ pub fn mesa_seeded(scale: Scale, seed: u64) -> Workload {
         let f = 1 + lane * 3;
         p.push(
             b1,
-            Inst::new(Op::LoadFp)
-                .dst(Reg::fp(f))
-                .src(Reg::int(1))
-                .imm(8 * lane as i64)
-                .region(0),
+            Inst::new(Op::LoadFp).dst(Reg::fp(f)).src(Reg::int(1)).imm(8 * lane as i64).region(0),
         );
         p.push(b1, Inst::new(Op::FMul).dst(Reg::fp(f + 1)).src(Reg::fp(f)).src(Reg::fp(f)));
         p.push(
@@ -840,10 +819,7 @@ mod tests {
         let w = gzip(Scale::Test);
         let before = w.mem.clone();
         let s = run_to_halt(&w);
-        assert!(
-            !s.mem.semantically_eq(&before),
-            "gzip should have written table updates"
-        );
+        assert!(!s.mem.semantically_eq(&before), "gzip should have written table updates");
     }
 
     #[test]

@@ -65,16 +65,13 @@ pub struct Workload {
 impl Workload {
     /// The twelve benchmark names in the paper's presentation order.
     pub const NAMES: [&'static str; 12] = [
-        "gzip", "vpr", "mcf", "parser", "gap", "vortex", "bzip2", "twolf", "art", "equake",
-        "mesa", "ammp",
+        "gzip", "vpr", "mcf", "parser", "gap", "vortex", "bzip2", "twolf", "art", "equake", "mesa",
+        "ammp",
     ];
 
     /// Generates every benchmark at the given scale.
     pub fn all(scale: Scale) -> Vec<Workload> {
-        Self::NAMES
-            .iter()
-            .map(|n| Self::by_name(n, scale).expect("known name"))
-            .collect()
+        Self::NAMES.iter().map(|n| Self::by_name(n, scale).expect("known name")).collect()
     }
 
     /// Generates one benchmark by name, or `None` for an unknown name.
@@ -130,12 +127,7 @@ mod tests {
             s.mem = w.mem.clone();
             let mut i = Interpreter::with_state(&w.program, s);
             let stop = i.run(20_000_000).expect("valid control flow");
-            assert_eq!(
-                stop,
-                ff_isa::interp::StopReason::Halted,
-                "{} did not halt",
-                w.name
-            );
+            assert_eq!(stop, ff_isa::interp::StopReason::Halted, "{} did not halt", w.name);
         }
     }
 

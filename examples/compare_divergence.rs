@@ -1,0 +1,82 @@
+//! Runs one execution model against the golden interpreter in lockstep and
+//! prints the `ff-debug` first-divergence triage report.
+//!
+//! ```sh
+//! cargo run --release --example compare_divergence -- <workload> <model> [fault-index]
+//! ```
+//!
+//! `<workload>` is a workload name (`mcf`, `bzip2`, ... — see
+//! `inspect_workload`), `<model>` one of `inorder`, `runahead`, `ooo`,
+//! `ooo-real`, `mp`, `mp-noregroup`, `mp-norestart`. The optional
+//! `fault-index` injects a single-bit corruption into the N-th multipass
+//! result-store merge (`MultipassConfig::fault_corrupt_rs_merge`) so the
+//! triage output can be demonstrated on a healthy tree.
+
+use std::process::ExitCode;
+
+use flea_flicker::baselines::{InOrder, OutOfOrder, Runahead};
+use flea_flicker::debug::compare_model;
+use flea_flicker::engine::{ExecutionModel, MachineConfig, SimCase};
+use flea_flicker::multipass::{Multipass, MultipassConfig};
+use flea_flicker::workloads::{Scale, Workload};
+
+fn usage() -> ExitCode {
+    eprintln!("usage: compare_divergence <workload> <model> [fault-index]");
+    eprintln!("  models: inorder runahead ooo ooo-real mp mp-noregroup mp-norestart");
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let (Some(workload), Some(model_name)) = (args.get(1), args.get(2)) else {
+        return usage();
+    };
+    let fault: Option<u64> = match args.get(3) {
+        Some(s) => match s.parse() {
+            Ok(n) => Some(n),
+            Err(_) => return usage(),
+        },
+        None => None,
+    };
+
+    let Some(w) = Workload::by_name(workload, Scale::Test) else {
+        eprintln!("unknown workload `{workload}`");
+        return usage();
+    };
+
+    let machine = MachineConfig::itanium2_base();
+    let mp_config = |mut c: MultipassConfig| {
+        c.fault_corrupt_rs_merge = fault;
+        c
+    };
+    let mut model: Box<dyn ExecutionModel> = match model_name.as_str() {
+        "inorder" => Box::new(InOrder::new(machine)),
+        "runahead" => Box::new(Runahead::new(machine)),
+        "ooo" => Box::new(OutOfOrder::new(machine)),
+        "ooo-real" => Box::new(OutOfOrder::realistic(machine)),
+        "mp" => Box::new(Multipass::with_config(mp_config(MultipassConfig::new(machine)))),
+        "mp-noregroup" => Box::new(Multipass::with_config(mp_config(
+            MultipassConfig::without_regrouping(machine),
+        ))),
+        "mp-norestart" => {
+            Box::new(Multipass::with_config(mp_config(MultipassConfig::without_restart(machine))))
+        }
+        other => {
+            eprintln!("unknown model `{other}`");
+            return usage();
+        }
+    };
+    if fault.is_some() && !model_name.starts_with("mp") {
+        eprintln!("fault injection only applies to multipass models");
+        return usage();
+    }
+
+    let case = SimCase::new(&w.program, w.mem.clone());
+    let report = compare_model(&mut *model, &case);
+    println!("{report}");
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

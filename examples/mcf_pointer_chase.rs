@@ -21,8 +21,7 @@ fn main() {
     let base = InOrder::new(machine).run(&case);
     let ra = Runahead::new(machine).run(&case);
     let mp = Multipass::new(machine).run(&case);
-    let mp_nr =
-        Multipass::with_config(MultipassConfig::without_restart(machine)).run(&case);
+    let mp_nr = Multipass::with_config(MultipassConfig::without_restart(machine)).run(&case);
 
     println!("mcf-like pointer chase ({} dynamic instructions)\n", base.stats.retired);
     println!(

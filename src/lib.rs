@@ -13,6 +13,7 @@
 //! * [`multipass`] — the paper's contribution: multipass pipelining
 //! * [`power`] — Wattch-like power models (Table 1)
 //! * [`experiments`] — table/figure reproduction harness
+//! * [`debug`] — first-divergence triage against the golden interpreter
 
 #![forbid(unsafe_code)]
 
@@ -39,6 +40,7 @@ pub mod prelude {
 
 pub use ff_baselines as baselines;
 pub use ff_compiler as compiler;
+pub use ff_debug as debug;
 pub use ff_engine as engine;
 pub use ff_experiments as experiments;
 pub use ff_frontend as frontend;

@@ -48,8 +48,9 @@ fn every_model_matches_the_interpreter_on_every_workload() {
             let r = model.run(&case);
             assert!(
                 r.final_state.semantically_eq(&golden),
-                "{name} diverges from the interpreter on {}",
-                w.name
+                "{name} diverges from the interpreter on {}\n{}",
+                w.name,
+                flea_flicker::debug::compare_model(&mut *model, &case)
             );
             assert_eq!(
                 r.stats.retired, retired,
@@ -74,8 +75,9 @@ fn models_are_deterministic() {
     for (name, mut model) in models(machine) {
         let a = model.run(&case);
         let b = model.run(&case);
-        assert_eq!(a.stats.cycles, b.stats.cycles, "{name} is nondeterministic");
-        assert_eq!(a.stats.breakdown, b.stats.breakdown, "{name} breakdown varies");
+        // Bit-for-bit: every counter of two identical runs must agree.
+        assert_eq!(a.stats, b.stats, "{name} is nondeterministic");
+        assert!(a.final_state.semantically_eq(&b.final_state), "{name} state varies");
     }
 }
 

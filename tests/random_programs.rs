@@ -44,8 +44,12 @@ const WINDOW_WORDS: u64 = 64;
 
 fn arb_body_inst() -> impl Strategy<Value = BodyInst> {
     prop_oneof![
-        (0u8..4, 0u8..8, 0u8..8, 0u8..8)
-            .prop_map(|(op_idx, rd, rs1, rs2)| BodyInst::Alu { op_idx, rd, rs1, rs2 }),
+        (0u8..4, 0u8..8, 0u8..8, 0u8..8).prop_map(|(op_idx, rd, rs1, rs2)| BodyInst::Alu {
+            op_idx,
+            rd,
+            rs1,
+            rs2
+        }),
         (0u8..8, 0u8..8, any::<i8>()).prop_map(|(rd, rs, imm)| BodyInst::AddImm { rd, rs, imm }),
         (0u8..8, 0u8..8, 0u8..8).prop_map(|(rd, rs1, rs2)| BodyInst::Mul { rd, rs1, rs2 }),
         (0u8..8, 0u8..8).prop_map(|(rd, rs)| BodyInst::Load { rd, rs }),
@@ -66,34 +70,23 @@ fn build_program(body: &[BodyInst], trips: u8) -> Program {
         p.push(b0, Inst::new(Op::MovImm).dst(reg(i)).imm(3 + 7 * i as i64));
     }
     p.push(b0, Inst::new(Op::MovImm).dst(Reg::int(20)).imm(WINDOW_BASE as i64));
-    p.push(
-        b0,
-        Inst::new(Op::MovImm).dst(Reg::int(21)).imm(((WINDOW_WORDS - 1) * 8) as i64),
-    );
+    p.push(b0, Inst::new(Op::MovImm).dst(Reg::int(21)).imm(((WINDOW_WORDS - 1) * 8) as i64));
     p.push(b0, Inst::new(Op::MovImm).dst(Reg::int(22)).imm(trips as i64 + 1));
     for bi in body {
         match bi {
             BodyInst::Alu { op_idx, rd, rs1, rs2 } => p.push(
                 b1,
-                Inst::new(ALU_OPS[*op_idx as usize])
-                    .dst(reg(*rd))
-                    .src(reg(*rs1))
-                    .src(reg(*rs2)),
+                Inst::new(ALU_OPS[*op_idx as usize]).dst(reg(*rd)).src(reg(*rs1)).src(reg(*rs2)),
             ),
-            BodyInst::AddImm { rd, rs, imm } => p.push(
-                b1,
-                Inst::new(Op::AddImm).dst(reg(*rd)).src(reg(*rs)).imm(*imm as i64),
-            ),
-            BodyInst::Mul { rd, rs1, rs2 } => p.push(
-                b1,
-                Inst::new(Op::Mul).dst(reg(*rd)).src(reg(*rs1)).src(reg(*rs2)),
-            ),
+            BodyInst::AddImm { rd, rs, imm } => {
+                p.push(b1, Inst::new(Op::AddImm).dst(reg(*rd)).src(reg(*rs)).imm(*imm as i64))
+            }
+            BodyInst::Mul { rd, rs1, rs2 } => {
+                p.push(b1, Inst::new(Op::Mul).dst(reg(*rd)).src(reg(*rs1)).src(reg(*rs2)))
+            }
             BodyInst::Load { rd, rs } => {
                 // r23 = (rs & mask) + window base; rd = [r23]
-                p.push(
-                    b1,
-                    Inst::new(Op::And).dst(Reg::int(23)).src(reg(*rs)).src(Reg::int(21)),
-                );
+                p.push(b1, Inst::new(Op::And).dst(Reg::int(23)).src(reg(*rs)).src(Reg::int(21)));
                 p.push(
                     b1,
                     Inst::new(Op::Add).dst(Reg::int(23)).src(Reg::int(23)).src(Reg::int(20)),
@@ -101,10 +94,7 @@ fn build_program(body: &[BodyInst], trips: u8) -> Program {
                 p.push(b1, Inst::new(Op::Load).dst(reg(*rd)).src(Reg::int(23)));
             }
             BodyInst::Store { rs, rs2 } => {
-                p.push(
-                    b1,
-                    Inst::new(Op::And).dst(Reg::int(24)).src(reg(*rs)).src(Reg::int(21)),
-                );
+                p.push(b1, Inst::new(Op::And).dst(Reg::int(24)).src(reg(*rs)).src(Reg::int(21)));
                 p.push(
                     b1,
                     Inst::new(Op::Add).dst(Reg::int(24)).src(Reg::int(24)).src(Reg::int(20)),
@@ -112,26 +102,16 @@ fn build_program(body: &[BodyInst], trips: u8) -> Program {
                 p.push(b1, Inst::new(Op::Store).src(Reg::int(24)).src(reg(*rs2)));
             }
             BodyInst::Pred { rd, rs1, rs2 } => {
+                p.push(b1, Inst::new(Op::CmpLt).dst(Reg::pred(2)).src(reg(*rs1)).src(reg(*rs2)));
                 p.push(
                     b1,
-                    Inst::new(Op::CmpLt).dst(Reg::pred(2)).src(reg(*rs1)).src(reg(*rs2)),
-                );
-                p.push(
-                    b1,
-                    Inst::new(Op::Add)
-                        .dst(reg(*rd))
-                        .src(reg(*rd))
-                        .src(reg(*rs1))
-                        .qp(Reg::pred(2)),
+                    Inst::new(Op::Add).dst(reg(*rd)).src(reg(*rd)).src(reg(*rs1)).qp(Reg::pred(2)),
                 );
             }
         }
     }
     p.push(b1, Inst::new(Op::AddImm).dst(Reg::int(22)).src(Reg::int(22)).imm(-1));
-    p.push(
-        b1,
-        Inst::new(Op::CmpNe).dst(Reg::pred(1)).src(Reg::int(22)).src(Reg::int(0)),
-    );
+    p.push(b1, Inst::new(Op::CmpNe).dst(Reg::pred(1)).src(Reg::int(22)).src(Reg::int(0)));
     p.push(b1, Inst::new(Op::Br { target: b1 }).qp(Reg::pred(1)));
     p.push(b2, Inst::new(Op::Halt));
     p
@@ -143,6 +123,39 @@ fn initial_memory() -> MemoryImage {
         m.store(WINDOW_BASE + i * 8, i.wrapping_mul(0x9E37_79B9) ^ 0xABCD);
     }
     m
+}
+
+fn all_models(machine: MachineConfig) -> Vec<(&'static str, Box<dyn ExecutionModel>)> {
+    vec![
+        ("inorder", Box::new(InOrder::new(machine))),
+        ("runahead", Box::new(Runahead::new(machine))),
+        ("ooo", Box::new(OutOfOrder::new(machine))),
+        ("ooo-real", Box::new(OutOfOrder::realistic(machine))),
+        ("mp", Box::new(Multipass::new(machine))),
+        (
+            "mp-noregroup",
+            Box::new(Multipass::with_config(MultipassConfig::without_regrouping(machine))),
+        ),
+        (
+            "mp-norestart",
+            Box::new(Multipass::with_config(MultipassConfig::without_restart(machine))),
+        ),
+    ]
+}
+
+/// Runs every model on the case and returns a first-divergence triage
+/// report (`ff-debug`) for each model that disagrees with the interpreter.
+fn divergence_reports(golden: &ArchState, case: &SimCase<'_>) -> Vec<String> {
+    let machine = MachineConfig::itanium2_base();
+    let mut failures = Vec::new();
+    for (name, mut model) in all_models(machine) {
+        let r = model.run(case);
+        if !r.final_state.semantically_eq(golden) || r.stats.breakdown.total() != r.stats.cycles {
+            let report = flea_flicker::debug::compare_model(&mut *model, case);
+            failures.push(format!("model {name}:\n{report}"));
+        }
+    }
+    failures
 }
 
 proptest! {
@@ -166,27 +179,9 @@ proptest! {
         prop_assert!(interp.is_halted());
         let golden = interp.into_state();
 
-        let machine = MachineConfig::itanium2_base();
         let case = SimCase::new(&program, mem);
-        let models: Vec<(&str, Box<dyn ExecutionModel>)> = vec![
-            ("inorder", Box::new(InOrder::new(machine))),
-            ("runahead", Box::new(Runahead::new(machine))),
-            ("ooo", Box::new(OutOfOrder::new(machine))),
-            ("ooo-real", Box::new(OutOfOrder::realistic(machine))),
-            ("mp", Box::new(Multipass::new(machine))),
-            ("mp-noregroup",
-             Box::new(Multipass::with_config(MultipassConfig::without_regrouping(machine)))),
-            ("mp-norestart",
-             Box::new(Multipass::with_config(MultipassConfig::without_restart(machine)))),
-        ];
-        for (name, mut model) in models {
-            let r = model.run(&case);
-            prop_assert!(
-                r.final_state.semantically_eq(&golden),
-                "{} diverged from the interpreter", name
-            );
-            prop_assert_eq!(r.stats.breakdown.total(), r.stats.cycles);
-        }
+        let failures = divergence_reports(&golden, &case);
+        prop_assert!(failures.is_empty(), "{}", failures.join("\n"));
     }
 
     /// Unrolled compilation preserves memory semantics, and every model
@@ -221,21 +216,9 @@ proptest! {
         prop_assert!(i_raw.state().mem.semantically_eq(&i_u.state().mem));
         let golden = i_u.into_state();
 
-        let machine = MachineConfig::itanium2_base();
         let case = SimCase::new(&program, mem);
-        let models: Vec<(&str, Box<dyn ExecutionModel>)> = vec![
-            ("inorder", Box::new(InOrder::new(machine))),
-            ("runahead", Box::new(Runahead::new(machine))),
-            ("ooo", Box::new(OutOfOrder::new(machine))),
-            ("mp", Box::new(Multipass::new(machine))),
-        ];
-        for (name, mut model) in models {
-            let r = model.run(&case);
-            prop_assert!(
-                r.final_state.semantically_eq(&golden),
-                "{} diverged on the unrolled program", name
-            );
-        }
+        let failures = divergence_reports(&golden, &case);
+        prop_assert!(failures.is_empty(), "unrolled: {}", failures.join("\n"));
     }
 
     /// The assembler round-trips every program the generator can produce.
@@ -281,4 +264,67 @@ proptest! {
         // no-ops but occupy dynamic instruction slots.
         prop_assert!(i2.retired() >= i1.retired());
     }
+}
+
+/// Runs a fixed kernel through the compiler and asserts every model agrees
+/// with the interpreter, printing ff-debug triage reports on failure.
+fn check_regression_kernel(body: &[BodyInst], trips: u8) {
+    let raw = build_program(body, trips);
+    let program = compile(&raw, &CompilerOptions::default());
+    let mem = initial_memory();
+
+    let mut s = ArchState::new();
+    s.mem = mem.clone();
+    let mut interp = Interpreter::with_state(&program, s);
+    interp.run(5_000_000).expect("interpreter must finish");
+    assert!(interp.is_halted());
+    let golden = interp.into_state();
+
+    let case = SimCase::new(&program, mem);
+    let failures = divergence_reports(&golden, &case);
+    assert!(failures.is_empty(), "{}", failures.join("\n"));
+}
+
+/// Shrunk kernel from the checked-in proptest regression seed
+/// (`tests/random_programs.proptest-regressions`, cc b6bda37c…): a
+/// multi-cycle multiply feeding a load-address chain under WAW pressure.
+#[test]
+fn regression_shrunk_kernel_b6bda37c() {
+    check_regression_kernel(
+        &[
+            BodyInst::AddImm { rd: 7, rs: 1, imm: 0 },
+            BodyInst::Load { rd: 1, rs: 4 },
+            BodyInst::Mul { rd: 2, rs1: 0, rs2: 7 },
+            BodyInst::Alu { op_idx: 0, rd: 4, rs1: 3, rs2: 1 },
+            BodyInst::Mul { rd: 5, rs1: 0, rs2: 7 },
+        ],
+        1,
+    );
+}
+
+/// Stale ASC forward across a deferred store (fuzz seed 6745): in one
+/// advance pass an older store's ASC entry forwarded to a younger load
+/// even though an intervening store with an unknown address had been
+/// deferred between them. The forwarded value must carry an S-bit in that
+/// case so the rally-mode value check catches the aliasing store.
+#[test]
+fn regression_stale_asc_forward_across_deferred_store() {
+    check_regression_kernel(
+        &[
+            BodyInst::Load { rd: 0, rs: 2 },
+            BodyInst::Store { rs: 3, rs2: 1 },
+            BodyInst::Load { rd: 3, rs: 7 },
+            BodyInst::Store { rs: 0, rs2: 5 },
+            BodyInst::Store { rs: 7, rs2: 7 },
+            BodyInst::Load { rd: 0, rs: 0 },
+            BodyInst::Pred { rd: 2, rs1: 6, rs2: 0 },
+            BodyInst::Load { rd: 4, rs: 5 },
+            BodyInst::Load { rd: 5, rs: 0 },
+            BodyInst::AddImm { rd: 4, rs: 1, imm: 85 },
+            BodyInst::Pred { rd: 0, rs1: 2, rs2: 1 },
+            BodyInst::Store { rs: 1, rs2: 4 },
+            BodyInst::Alu { op_idx: 3, rd: 1, rs1: 4, rs2: 5 },
+        ],
+        9,
+    );
 }

@@ -1,0 +1,53 @@
+//! Collection strategies (`proptest::collection::vec`).
+
+use std::ops::Range;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// A size specification for collection strategies.
+#[derive(Clone, Debug)]
+pub struct SizeRange {
+    min: usize,
+    /// Exclusive upper bound.
+    max: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { min: n, max: n + 1 }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty collection size range");
+        SizeRange { min: r.start, max: r.end }
+    }
+}
+
+impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+        SizeRange { min: *r.start(), max: *r.end() + 1 }
+    }
+}
+
+/// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+        let span = (self.size.max - self.size.min) as u64;
+        let len = self.size.min + rng.below(span.max(1)) as usize;
+        (0..len).map(|_| self.element.new_value(rng)).collect()
+    }
+}
+
+/// Mirrors `proptest::collection::vec`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy { element, size: size.into() }
+}

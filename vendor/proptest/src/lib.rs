@@ -1,0 +1,174 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access to crates.io, so this
+//! vendored crate reimplements the subset of proptest the workspace uses:
+//!
+//! * the [`strategy::Strategy`] trait with `prop_map`, `boxed`, ranges,
+//!   tuples, and [`collection::vec`];
+//! * `any::<T>()` for primitive types;
+//! * the [`proptest!`], [`prop_assert!`], [`prop_assert_eq!`] and
+//!   [`prop_oneof!`] macros;
+//! * a [`test_runner::TestRunner`] that replays `*.proptest-regressions`
+//!   seed files (the standard `cc <64-hex-digit seed>` format) before
+//!   generating fresh cases, and appends a seed line when a new failure is
+//!   found.
+//!
+//! Differences from real proptest, deliberately accepted:
+//!
+//! * **No shrinking.** A failing case is reported verbatim (with its seed
+//!   persisted); the `ff-debug` divergence triage subsystem is the intended
+//!   minimization aid in this repository.
+//! * **Deterministic case generation.** Fresh cases derive from a seed
+//!   hashed from the test's source path and name, so CI runs are
+//!   reproducible. Set `PROPTEST_RNG_SEED=<u64>` to perturb the stream.
+//! * **Seed replay is self-consistent, not stream-compatible.** A seed
+//!   recorded by real proptest replays as *some* deterministic case, not
+//!   bit-for-bit the case real proptest would generate.
+
+#![forbid(unsafe_code)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// Re-exports mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Defines property tests. Mirrors `proptest::proptest!`: an optional
+/// `#![proptest_config(..)]` inner attribute followed by `fn` items whose
+/// arguments are either `name in strategy` bindings or plain `name: Type`
+/// arguments (sugar for `name in any::<Type>()`).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!(($config) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!(($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($config:expr)) => {};
+    (($config:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $config;
+            let mut runner = $crate::test_runner::TestRunner::new(
+                config,
+                file!(),
+                stringify!($name),
+            );
+            let outcome = runner.run(&($($strat,)+), |($($arg,)+)| {
+                $body
+                ::core::result::Result::Ok(())
+            });
+            if let ::core::result::Result::Err(message) = outcome {
+                panic!("{}", message);
+            }
+        }
+        $crate::__proptest_items!(($config) $($rest)*);
+    };
+    (($config:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident : $ty:ty),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_items!(($config)
+            $(#[$meta])*
+            fn $name($($arg in $crate::arbitrary::any::<$ty>()),+) $body
+            $($rest)*
+        );
+    };
+}
+
+/// `prop_assert!(cond)` / `prop_assert!(cond, "fmt", ..)` — fails the
+/// current test case without panicking (the runner reports the case).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// `prop_assert_eq!(a, b)` with optional trailing format message.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let a = $a;
+        let b = $b;
+        $crate::prop_assert!(
+            a == b,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($a), stringify!($b), a, b
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let a = $a;
+        let b = $b;
+        $crate::prop_assert!(a == b, $($fmt)*);
+    }};
+}
+
+/// `prop_assert_ne!(a, b)` with optional trailing format message.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let a = $a;
+        let b = $b;
+        $crate::prop_assert!(
+            a != b,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($a), stringify!($b), a
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let a = $a;
+        let b = $b;
+        $crate::prop_assert!(a != b, $($fmt)*);
+    }};
+}
+
+/// `prop_assume!(cond)` — rejects (skips) the current case when false.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}
+
+/// Uniform choice between strategies producing the same value type.
+/// Supports the unweighted form only: `prop_oneof![s1, s2, ...]`.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}

@@ -1,0 +1,301 @@
+//! Test execution: RNG, config, case errors, and the regression-file-aware
+//! runner.
+
+use std::fmt;
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use crate::strategy::Strategy;
+
+/// Deterministic xoshiro256++ generator used for case generation.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    pub fn from_seed_bytes(seed: [u8; 32]) -> Self {
+        let mut s = [0u64; 4];
+        for (i, chunk) in seed.chunks_exact(8).enumerate() {
+            s[i] = u64::from_le_bytes(chunk.try_into().unwrap());
+        }
+        if s == [0; 4] {
+            s = [0x9E37_79B9_7F4A_7C15, 0xBF58_476D_1CE4_E5B9, 0x94D0_49BB_1331_11EB, 1];
+        }
+        TestRng { s }
+    }
+
+    pub fn from_seed_u64(seed: u64) -> Self {
+        // SplitMix64 expansion, as recommended for xoshiro seeding.
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let mut seed_bytes = [0u8; 32];
+        for chunk in seed_bytes.chunks_exact_mut(8) {
+            chunk.copy_from_slice(&next().to_le_bytes());
+        }
+        Self::from_seed_bytes(seed_bytes)
+    }
+
+    pub fn seed_bytes(&self) -> [u8; 32] {
+        let mut out = [0u8; 32];
+        for (chunk, word) in out.chunks_exact_mut(8).zip(self.s.iter()) {
+            chunk.copy_from_slice(&word.to_le_bytes());
+        }
+        out
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0].wrapping_add(self.s[3]).rotate_left(23).wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform draw in `0..bound` (`bound == 0` means the full u64 domain).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            return self.next_u64();
+        }
+        let zone = u64::MAX - (u64::MAX % bound + 1) % bound;
+        loop {
+            let x = self.next_u64();
+            if x <= zone {
+                return x % bound;
+            }
+        }
+    }
+}
+
+/// Runner configuration. Only `cases` matters to this implementation; the
+/// other fields exist so `..ProptestConfig::default()` updates compile.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of fresh cases to generate per test (after regressions).
+    pub cases: u32,
+    /// Accepted for compatibility; shrinking is not implemented.
+    pub max_shrink_iters: u32,
+    /// Maximum number of `prop_assume!` rejections tolerated.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256, max_shrink_iters: 0, max_global_rejects: 1024 }
+    }
+}
+
+/// Failure of a single test case: a genuine assertion failure or a
+/// `prop_assume!` rejection.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    Fail(String),
+    Reject(String),
+}
+
+impl TestCaseError {
+    pub fn fail(reason: impl Into<String>) -> Self {
+        TestCaseError::Fail(reason.into())
+    }
+
+    pub fn reject(reason: impl Into<String>) -> Self {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(r) => write!(f, "{r}"),
+            TestCaseError::Reject(r) => write!(f, "rejected: {r}"),
+        }
+    }
+}
+
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Runs one property test: replays persisted regression seeds, then
+/// generates fresh cases; persists the seed of any new failure.
+pub struct TestRunner {
+    config: ProptestConfig,
+    source_file: &'static str,
+    test_name: String,
+}
+
+impl TestRunner {
+    pub fn new(config: ProptestConfig, source_file: &'static str, test_name: &str) -> Self {
+        TestRunner { config, source_file, test_name: test_name.to_string() }
+    }
+
+    /// Path of the `.proptest-regressions` file next to the test source,
+    /// tolerating the `file!()`-vs-CWD mismatch for workspace members by
+    /// stripping leading path components until the parent directory exists.
+    fn regression_path(&self) -> Option<PathBuf> {
+        let base = Path::new(self.source_file).with_extension("proptest-regressions");
+        let mut candidate = base.as_path();
+        loop {
+            if candidate.parent().is_some_and(Path::exists) {
+                return Some(candidate.to_path_buf());
+            }
+            let mut comps = candidate.components();
+            comps.next()?;
+            let rest = comps.as_path();
+            if rest.as_os_str().is_empty() {
+                return None;
+            }
+            candidate = rest;
+        }
+    }
+
+    fn load_regression_seeds(&self) -> Vec<[u8; 32]> {
+        let Some(path) = self.regression_path() else { return Vec::new() };
+        let Ok(text) = fs::read_to_string(&path) else { return Vec::new() };
+        let mut seeds = Vec::new();
+        for line in text.lines() {
+            let line = line.trim();
+            let Some(rest) = line.strip_prefix("cc ") else { continue };
+            let hex: String = rest.chars().take_while(|c| c.is_ascii_hexdigit()).collect();
+            if hex.len() != 64 {
+                continue;
+            }
+            let mut seed = [0u8; 32];
+            for (i, byte) in seed.iter_mut().enumerate() {
+                *byte = u8::from_str_radix(&hex[i * 2..i * 2 + 2], 16).unwrap();
+            }
+            seeds.push(seed);
+        }
+        seeds
+    }
+
+    fn persist_failure(&self, seed: &[u8; 32], value_debug: &str) {
+        let Some(path) = self.regression_path() else { return };
+        let newly_created = !path.exists();
+        let Ok(mut f) = fs::OpenOptions::new().create(true).append(true).open(&path) else {
+            return;
+        };
+        if newly_created {
+            let _ = writeln!(
+                f,
+                "# Seeds for failure cases proptest has generated in the past. It is\n\
+                 # automatically read and these particular cases re-run before any\n\
+                 # novel cases are generated.\n\
+                 #\n\
+                 # It is recommended to check this file in to source control so that\n\
+                 # everyone who runs the test benefits from these saved cases."
+            );
+        }
+        let hex: String = seed.iter().map(|b| format!("{b:02x}")).collect();
+        let one_line = value_debug.replace('\n', " ");
+        let _ = writeln!(f, "cc {hex} # shrinks to {one_line}");
+    }
+
+    fn base_seed(&self) -> u64 {
+        if let Ok(s) = std::env::var("PROPTEST_RNG_SEED") {
+            if let Ok(n) = s.parse::<u64>() {
+                return n;
+            }
+        }
+        // FNV-1a over file path and test name: stable across runs and
+        // processes, distinct per test.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in self.source_file.bytes().chain([0u8]).chain(self.test_name.bytes()) {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        h
+    }
+
+    /// Runs the property. Returns `Err(message)` on the first failing case.
+    pub fn run<S: Strategy>(
+        &mut self,
+        strategy: &S,
+        mut test: impl FnMut(S::Value) -> TestCaseResult,
+    ) -> Result<(), String> {
+        // 1. Replay persisted regressions.
+        for seed in self.load_regression_seeds() {
+            let mut rng = TestRng::from_seed_bytes(seed);
+            let value = strategy.new_value(&mut rng);
+            let debug = format!("{value:?}");
+            match test(value) {
+                Ok(()) | Err(TestCaseError::Reject(_)) => {}
+                Err(TestCaseError::Fail(reason)) => {
+                    let hex: String = seed.iter().map(|b| format!("{b:02x}")).collect();
+                    return Err(format!(
+                        "persisted regression case failed (seed cc {hex})\n{reason}\ninput: {debug}"
+                    ));
+                }
+            }
+        }
+
+        // 2. Fresh cases.
+        let base = self.base_seed();
+        let mut rejects = 0u32;
+        let mut case = 0u32;
+        let mut draw = 0u64;
+        while case < self.config.cases {
+            let case_seed = base ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(draw + 1));
+            draw += 1;
+            let mut rng = TestRng::from_seed_u64(case_seed);
+            let seed_bytes = rng.seed_bytes();
+            let value = strategy.new_value(&mut rng);
+            let debug = format!("{value:?}");
+            match test(value) {
+                Ok(()) => case += 1,
+                Err(TestCaseError::Reject(_)) => {
+                    rejects += 1;
+                    if rejects > self.config.max_global_rejects {
+                        return Err(format!(
+                            "too many prop_assume! rejections ({rejects}) in {}",
+                            self.test_name
+                        ));
+                    }
+                }
+                Err(TestCaseError::Fail(reason)) => {
+                    self.persist_failure(&seed_bytes, &debug);
+                    let hex: String = seed_bytes.iter().map(|b| format!("{b:02x}")).collect();
+                    return Err(format!(
+                        "test case failed after {case} passing case(s) (seed persisted as cc {hex})\n\
+                         {reason}\ninput: {debug}"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn below_is_in_bounds_and_deterministic() {
+        let mut a = TestRng::from_seed_u64(1);
+        let mut b = TestRng::from_seed_u64(1);
+        for _ in 0..200 {
+            let x = a.below(13);
+            assert!(x < 13);
+            assert_eq!(x, b.below(13));
+        }
+    }
+
+    #[test]
+    fn seed_bytes_round_trip() {
+        let rng = TestRng::from_seed_u64(99);
+        let bytes = rng.seed_bytes();
+        let mut c = TestRng::from_seed_bytes(bytes);
+        let mut d = TestRng::from_seed_u64(99);
+        assert_eq!(c.next_u64(), d.next_u64());
+    }
+}
