@@ -11,7 +11,7 @@
 
 use ff_engine::{
     Activity, ExecutionModel, FuPool, MachineConfig, PendingKind, RetireEvent, RetireHook,
-    RetireMode, RunResult, RunStats, Scoreboard, SimCase, StallKind,
+    RetireMode, RunError, RunResult, RunStats, Scoreboard, SimCase, StallKind,
 };
 use ff_frontend::{FetchUnit, Gshare};
 use ff_isa::eval::{alu, effective_address};
@@ -43,9 +43,14 @@ impl ExecutionModel for InOrder {
         "inorder"
     }
 
-    fn run_hooked(&mut self, case: &SimCase<'_>, hook: &mut dyn RetireHook) -> RunResult {
+    fn try_run_hooked(
+        &mut self,
+        case: &SimCase<'_>,
+        hook: &mut dyn RetireHook,
+    ) -> Result<RunResult, RunError> {
         let program = case.program;
         let cfg = &self.config;
+        let cycle_cap = case.cycle_cap(cfg.max_cycles);
         let mut state: ArchState = case.initial_state();
         let mut mem = MemorySystem::new(cfg.hierarchy);
         let mut fetch = FetchUnit::new(
@@ -64,7 +69,12 @@ impl ExecutionModel for InOrder {
         let mut halted = false;
 
         while !halted {
-            assert!(now < cfg.max_cycles, "cycle cap exceeded — runaway program?");
+            if now >= cycle_cap {
+                return Err(RunError::CycleBudgetExceeded {
+                    limit: cycle_cap,
+                    retired: stats.retired,
+                });
+            }
             assert!(stats.retired < case.max_insts, "instruction budget exceeded");
             fetch.tick(program, &mut mem, now);
             fu.new_cycle(now);
@@ -225,7 +235,7 @@ impl ExecutionModel for InOrder {
 
         stats.cycles = now;
         activity.cycles = now;
-        RunResult { stats, activity, mem_stats: *mem.stats(), final_state: state }
+        Ok(RunResult { stats, activity, mem_stats: *mem.stats(), final_state: state })
     }
 }
 
@@ -341,6 +351,19 @@ mod tests {
             rp.stats.cycles,
             rs.stats.cycles
         );
+    }
+
+    #[test]
+    fn cycle_budget_watchdog_aborts_long_runs() {
+        let (p, mem) = sum_loop(200);
+        let case = SimCase::new(&p, mem.clone()).with_cycle_budget(10);
+        let err = InOrder::new(MachineConfig::default()).try_run(&case).unwrap_err();
+        assert!(matches!(err, RunError::CycleBudgetExceeded { limit: 10, .. }), "{err}");
+        // A generous budget changes nothing.
+        let full = run_model(&p, mem.clone());
+        let case = SimCase::new(&p, mem).with_cycle_budget(full.stats.cycles + 1);
+        let ok = InOrder::new(MachineConfig::default()).try_run(&case).unwrap();
+        assert_eq!(ok.stats, full.stats);
     }
 
     #[test]

@@ -20,7 +20,7 @@
 
 use ff_engine::{
     Activity, DynTrace, ExecutionModel, FuPool, MachineConfig, RetireEvent, RetireHook, RetireMode,
-    RunResult, RunStats, SimCase, StallKind, TraceInst,
+    RunError, RunResult, RunStats, SimCase, StallKind, TraceInst,
 };
 use ff_frontend::Gshare;
 use ff_isa::{FuClass, Op};
@@ -76,8 +76,13 @@ impl ExecutionModel for OutOfOrder {
         }
     }
 
-    fn run_hooked(&mut self, case: &SimCase<'_>, hook: &mut dyn RetireHook) -> RunResult {
+    fn try_run_hooked(
+        &mut self,
+        case: &SimCase<'_>,
+        hook: &mut dyn RetireHook,
+    ) -> Result<RunResult, RunError> {
         let cfg = &self.config;
+        let cycle_cap = case.cycle_cap(cfg.max_cycles);
         let trace = DynTrace::record(case.program, case.initial_state(), case.max_insts)
             .expect("trace recording failed — invalid workload program");
         let insts = trace.insts();
@@ -126,7 +131,12 @@ impl ExecutionModel for OutOfOrder {
         let mut now: u64 = 0;
 
         while !retired_halt {
-            assert!(now < cfg.max_cycles, "cycle cap exceeded — runaway program?");
+            if now >= cycle_cap {
+                return Err(RunError::CycleBudgetExceeded {
+                    limit: cycle_cap,
+                    retired: stats.retired,
+                });
+            }
 
             // ---- fetch ----
             if now >= fetch_blocked_until && waiting_branch.is_none() && fetch_idx < n {
@@ -362,12 +372,12 @@ impl ExecutionModel for OutOfOrder {
 
         stats.cycles = now;
         activity.cycles = now;
-        RunResult {
+        Ok(RunResult {
             stats,
             activity,
             mem_stats: *mem.stats(),
             final_state: trace.final_state().clone(),
-        }
+        })
     }
 }
 

@@ -23,7 +23,7 @@ use std::collections::HashMap;
 
 use ff_engine::{
     Activity, ExecutionModel, FuPool, MachineConfig, PendingKind, RetireEvent, RetireHook,
-    RetireMode, RunResult, RunStats, Scoreboard, SimCase, StallKind,
+    RetireMode, RunError, RunResult, RunStats, Scoreboard, SimCase, StallKind,
 };
 use ff_frontend::{FetchUnit, Gshare};
 use ff_isa::eval::{alu, effective_address};
@@ -101,9 +101,14 @@ impl ExecutionModel for Runahead {
         "runahead"
     }
 
-    fn run_hooked(&mut self, case: &SimCase<'_>, hook: &mut dyn RetireHook) -> RunResult {
+    fn try_run_hooked(
+        &mut self,
+        case: &SimCase<'_>,
+        hook: &mut dyn RetireHook,
+    ) -> Result<RunResult, RunError> {
         let program = case.program;
         let cfg = &self.config;
+        let cycle_cap = case.cycle_cap(cfg.max_cycles);
         let mut state: ArchState = case.initial_state();
         let mut mem = MemorySystem::new(cfg.hierarchy);
         let mut fetch = FetchUnit::new(
@@ -126,7 +131,12 @@ impl ExecutionModel for Runahead {
         let mut halted = false;
 
         while !halted {
-            assert!(now < cfg.max_cycles, "cycle cap exceeded — runaway program?");
+            if now >= cycle_cap {
+                return Err(RunError::CycleBudgetExceeded {
+                    limit: cycle_cap,
+                    retired: stats.retired,
+                });
+            }
             assert!(stats.retired < case.max_insts, "instruction budget exceeded");
             fetch.tick(program, &mut mem, now);
             fu.new_cycle(now);
@@ -451,7 +461,7 @@ impl ExecutionModel for Runahead {
 
         stats.cycles = now;
         activity.cycles = now;
-        RunResult { stats, activity, mem_stats: *mem.stats(), final_state: state }
+        Ok(RunResult { stats, activity, mem_stats: *mem.stats(), final_state: state })
     }
 }
 

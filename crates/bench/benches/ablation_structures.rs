@@ -4,83 +4,11 @@
 //! compiler-vs-hardware restart mechanism of footnote 1.
 //!
 //! Sweeps run on a diverse four-benchmark subset (mcf, gap, art, twolf) at
-//! the configured scale.
+//! the configured scale. The report itself lives in
+//! `ff_experiments::reports` so `ff-campaign` can regenerate it too.
 
-use ff_baselines::InOrder;
 use ff_bench::scale_from_env;
-use ff_engine::{ExecutionModel, MachineConfig, SimCase};
-use ff_multipass::{Multipass, MultipassConfig};
-use ff_workloads::Workload;
-
-const BENCHES: [&str; 4] = ["mcf", "gap", "art", "twolf"];
-
-fn mean_speedup(machine: MachineConfig, mp_cfg: MultipassConfig, ws: &[Workload]) -> f64 {
-    let mut total = 0.0;
-    for w in ws {
-        let case = SimCase::new(&w.program, w.mem.clone());
-        let base = InOrder::new(machine).run(&case).stats.cycles as f64;
-        let mp = Multipass::with_config(mp_cfg).run(&case).stats.cycles as f64;
-        total += base / mp;
-    }
-    total / ws.len() as f64
-}
 
 fn main() {
-    let scale = scale_from_env();
-    let ws: Vec<Workload> =
-        BENCHES.iter().map(|n| Workload::by_name(n, scale).expect("known benchmark")).collect();
-    println!("=== Multipass structure ablations ({scale:?} scale; mcf/gap/art/twolf) ===\n");
-
-    // ---- instruction-queue capacity (paper: 256 entries) ----
-    println!("instruction-queue capacity sweep:");
-    for iq in [24usize, 64, 128, 256, 512] {
-        let mut machine = MachineConfig::itanium2_base();
-        machine.multipass_iq = iq;
-        let cfg = MultipassConfig::new(machine);
-        println!("  IQ {iq:>4} entries: mean MP speedup {:.3}x", mean_speedup(machine, cfg, &ws));
-    }
-
-    // ---- advance-store-cache geometry (paper: 64 entries, 2-way) ----
-    println!("\nadvance-store-cache sweep:");
-    let machine = MachineConfig::itanium2_base();
-    for (entries, assoc) in [(16usize, 2usize), (64, 1), (64, 2), (64, 4), (256, 2)] {
-        let mut cfg = MultipassConfig::new(machine);
-        cfg.asc_entries = entries;
-        cfg.asc_assoc = assoc;
-        println!(
-            "  ASC {entries:>3} entries / {assoc}-way: mean MP speedup {:.3}x",
-            mean_speedup(machine, cfg, &ws)
-        );
-    }
-
-    // ---- MSHR count (Table 2: 16 outstanding misses) ----
-    println!("\noutstanding-miss (MSHR) sweep:");
-    for mshrs in [4u32, 8, 16, 32] {
-        let mut machine = MachineConfig::itanium2_base();
-        machine.hierarchy.max_outstanding = mshrs;
-        let cfg = MultipassConfig::new(machine);
-        println!("  {mshrs:>2} MSHRs: mean MP speedup {:.3}x", mean_speedup(machine, cfg, &ws));
-    }
-
-    // ---- restart mechanism (footnote 1) ----
-    println!("\nrestart mechanism:");
-    let machine = MachineConfig::itanium2_base();
-    let compiler = MultipassConfig::new(machine);
-    println!("  compiler RESTART markers : {:.3}x", mean_speedup(machine, compiler, &ws));
-    for threshold in [4u32, 8, 16] {
-        let hw = MultipassConfig::with_hardware_restart(machine, threshold);
-        println!(
-            "  hardware detector (run {threshold:>2}): {:.3}x",
-            mean_speedup(machine, hw, &ws)
-        );
-    }
-    let none = MultipassConfig::without_restart(machine);
-    println!("  no restart               : {:.3}x", mean_speedup(machine, none, &ws));
-
-    // ---- §3.5 WAW policy ----
-    println!("\nWAW policy for advance loads that miss the L1:");
-    let paper = MultipassConfig::new(machine);
-    println!("  skip SRF (paper, simple) : {:.3}x", mean_speedup(machine, paper, &ws));
-    let ideal = MultipassConfig::with_ideal_waw(machine);
-    println!("  write SRF (idealized)    : {:.3}x", mean_speedup(machine, ideal, &ws));
+    print!("{}", ff_experiments::reports::ablation_structures(scale_from_env()));
 }

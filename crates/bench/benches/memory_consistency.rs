@@ -2,38 +2,15 @@
 //! significantly impacted by the pipeline flushes caused by the maintenance
 //! of semantic memory ordering since conflicts between the loads and stores
 //! were rarely observed". This bench reports value-misspeculation flushes
-//! per benchmark under multipass and the share of cycles they cost.
+//! per benchmark under multipass and the share of cycles they cost. The
+//! report itself lives in `ff_experiments::reports` so `ff-campaign` can
+//! regenerate it too.
 
 use ff_bench::scale_from_env;
-use ff_engine::{ExecutionModel, MachineConfig, SimCase};
-use ff_multipass::{Multipass, MultipassConfig};
-use ff_workloads::Workload;
+use ff_experiments::Suite;
 
 fn main() {
     let scale = scale_from_env();
-    let machine = MachineConfig::itanium2_base();
-    let flush_penalty = MultipassConfig::new(machine).flush_penalty;
-    println!("=== §4.2: value-based memory-consistency flushes ({scale:?} scale) ===\n");
-    println!(
-        "{:<8} {:>10} {:>8} {:>14} {:>12}",
-        "bench", "cycles", "flushes", "flush cycles", "% of cycles"
-    );
-    let mut total_flushes = 0u64;
-    for w in Workload::all(scale) {
-        let case = SimCase::new(&w.program, w.mem.clone());
-        let r = Multipass::new(machine).run(&case);
-        let flush_cycles = r.stats.value_flushes * flush_penalty;
-        total_flushes += r.stats.value_flushes;
-        println!(
-            "{:<8} {:>10} {:>8} {:>14} {:>11.3}%",
-            w.name,
-            r.stats.cycles,
-            r.stats.value_flushes,
-            flush_cycles,
-            100.0 * flush_cycles as f64 / r.stats.cycles as f64,
-        );
-    }
-    println!(
-        "\ntotal flushes across the suite: {total_flushes} (paper: conflicts \"rarely observed\")"
-    );
+    let mut suite = Suite::new(scale);
+    print!("{}", ff_experiments::reports::memory_consistency(&mut suite, scale));
 }

@@ -1,38 +1,18 @@
 //! Seed-sensitivity study: the headline result (multipass mean speedup over
 //! in-order) must not be an artifact of one workload-generator seed. Runs
 //! the full suite under several seeds and reports per-seed means and the
-//! spread.
+//! spread. The report itself lives in `ff_experiments::reports` so
+//! `ff-campaign` can regenerate it from checkpointed artifacts too.
 
-use ff_baselines::InOrder;
 use ff_bench::scale_from_env;
-use ff_engine::{ExecutionModel, MachineConfig, SimCase};
-use ff_multipass::Multipass;
-use ff_workloads::Workload;
+use ff_experiments::reports::{seed_sensitivity, seeded_cycles};
 
 fn main() {
     let scale = scale_from_env();
-    let machine = MachineConfig::itanium2_base();
-    println!("=== Seed sensitivity of the Figure 6 headline ({scale:?} scale) ===\n");
-    let mut means = Vec::new();
-    for seed in 0..4u64 {
-        let mut total = 0.0;
-        let mut n = 0.0;
-        for name in Workload::NAMES {
-            let w = Workload::by_name_seeded(name, scale, seed).expect("known benchmark");
-            let case = SimCase::new(&w.program, w.mem.clone());
-            let base = InOrder::new(machine).run(&case).stats.cycles as f64;
-            let mp = Multipass::new(machine).run(&case).stats.cycles as f64;
-            total += base / mp;
-            n += 1.0;
-        }
-        let mean = total / n;
-        println!("seed {seed}: mean MP speedup {mean:.3}x");
-        means.push(mean);
-    }
-    let lo = means.iter().cloned().fold(f64::INFINITY, f64::min);
-    let hi = means.iter().cloned().fold(0.0f64, f64::max);
-    println!(
-        "\nspread across seeds: {lo:.3}x .. {hi:.3}x ({:.1}% relative)",
-        100.0 * (hi - lo) / lo
+    print!(
+        "{}",
+        seed_sensitivity(scale, &[0, 1, 2, 3], |model, bench, seed| {
+            seeded_cycles(model, bench, scale, seed)
+        })
     );
 }

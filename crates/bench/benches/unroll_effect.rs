@@ -2,81 +2,9 @@
 //! buys the in-order pipelines — the effect (together with modulo
 //! scheduling) that lets the paper's OpenIMPACT baseline sit much closer to
 //! ideal out-of-order execution than naive code does. See EXPERIMENTS.md,
-//! deviation 1.
-
-use ff_baselines::{InOrder, OutOfOrder};
-use ff_engine::{ExecutionModel, MachineConfig, SimCase};
-use ff_isa::{Inst, MemoryImage, Op, Program, Reg};
-use ff_multipass::Multipass;
-
-/// An L1-resident compute loop (wrapped 4 KB window): one load feeding a
-/// short dependent chain, pointer bump with wrap — the canonical body whose
-/// intra-iteration serial chain leaves an un-unrolled in-order pipe
-/// issue-starved while ideal OOO overlaps iterations freely.
-fn gather_loop(trips: i64) -> (Program, MemoryImage) {
-    const WINDOW_WORDS: u64 = 512; // 4 KB: L1-resident after the first lap
-    let mut p = Program::new();
-    let b0 = p.add_block();
-    let b1 = p.add_block();
-    let b2 = p.add_block();
-    p.push(b0, Inst::new(Op::MovImm).dst(Reg::int(1)).imm(0x10_0000));
-    p.push(b0, Inst::new(Op::MovImm).dst(Reg::int(8)).imm(0x10_0000)); // base
-    p.push(b0, Inst::new(Op::MovImm).dst(Reg::int(9)).imm(((WINDOW_WORDS - 1) * 8) as i64));
-    p.push(b0, Inst::new(Op::MovImm).dst(Reg::int(2)).imm(trips));
-    p.push(b1, Inst::new(Op::Load).dst(Reg::int(4)).src(Reg::int(1)).region(0));
-    p.push(b1, Inst::new(Op::Add).dst(Reg::int(3)).src(Reg::int(3)).src(Reg::int(4)));
-    p.push(b1, Inst::new(Op::Shl).dst(Reg::int(5)).src(Reg::int(4)).imm(1));
-    p.push(b1, Inst::new(Op::Xor).dst(Reg::int(6)).src(Reg::int(5)).src(Reg::int(4)));
-    p.push(b1, Inst::new(Op::Add).dst(Reg::int(7)).src(Reg::int(7)).src(Reg::int(6)));
-    // Wrapped pointer bump: r1 = base + ((r1 + 8) & mask).
-    p.push(b1, Inst::new(Op::AddImm).dst(Reg::int(10)).src(Reg::int(1)).imm(8));
-    p.push(b1, Inst::new(Op::And).dst(Reg::int(10)).src(Reg::int(10)).src(Reg::int(9)));
-    p.push(b1, Inst::new(Op::Add).dst(Reg::int(1)).src(Reg::int(8)).src(Reg::int(10)));
-    p.push(b1, Inst::new(Op::AddImm).dst(Reg::int(2)).src(Reg::int(2)).imm(-1));
-    p.push(b1, Inst::new(Op::CmpNe).dst(Reg::pred(1)).src(Reg::int(2)).src(Reg::int(0)));
-    p.push(b1, Inst::new(Op::Br { target: b1 }).qp(Reg::pred(1)));
-    p.push(b2, Inst::new(Op::Halt));
-    let mut mem = MemoryImage::new();
-    for i in 0..WINDOW_WORDS {
-        mem.store(0x10_0000 + i * 8, i * 37 + 1);
-    }
-    (p, mem)
-}
+//! deviation 1. The report itself lives in `ff_experiments::reports` so
+//! `ff-campaign` can regenerate it too.
 
 fn main() {
-    let (raw, mem) = gather_loop(20_000);
-    let machine = MachineConfig::itanium2_base();
-    println!("=== Compiler loop unrolling vs the ideal-OOO gap ===\n");
-    println!("{:<10} {:>10} {:>10} {:>10} {:>12}", "unroll", "inorder", "MP", "OOO", "inorder/OOO");
-    let mut golden_mem: Option<ff_isa::MemoryImage> = None;
-    for factor in [None, Some(2u32), Some(4), Some(6)] {
-        let options = ff_compiler::CompilerOptions {
-            unroll: factor,
-            ..ff_compiler::CompilerOptions::default()
-        };
-        let program = ff_compiler::compile(&raw, &options);
-        assert!(ff_compiler::verify_schedule(&program).is_ok());
-        let case = SimCase::new(&program, mem.clone());
-        let base = InOrder::new(machine).run(&case);
-        let mp = Multipass::new(machine).run(&case);
-        let ooo = OutOfOrder::new(machine).run(&case);
-        // Memory semantics must be identical across factors.
-        match &golden_mem {
-            None => golden_mem = Some(base.final_state.mem.clone()),
-            Some(g) => assert!(base.final_state.mem.semantically_eq(g)),
-        }
-        assert!(mp.final_state.semantically_eq(&base.final_state));
-        assert!(ooo.final_state.semantically_eq(&base.final_state));
-        println!(
-            "{:<10} {:>10} {:>10} {:>10} {:>11.2}x",
-            factor.map_or("none".to_string(), |f| format!("x{f}")),
-            base.stats.cycles,
-            mp.stats.cycles,
-            ooo.stats.cycles,
-            base.stats.cycles as f64 / ooo.stats.cycles as f64,
-        );
-    }
-    println!("\nUnrolling shrinks the in-order pipes' execution cycles toward the");
-    println!("dataflow limit, narrowing the gap ideal OOO holds over them — the");
-    println!("effect the paper's modulo-scheduled binaries enjoyed by default.");
+    print!("{}", ff_experiments::reports::unroll_effect());
 }

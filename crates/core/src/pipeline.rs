@@ -22,8 +22,8 @@ use std::collections::BTreeMap;
 
 use ff_engine::{
     operand_stall, Activity, EpisodeWindow, ExecutionModel, FuPool, MachineConfig, NullRetireHook,
-    PendingKind, RetireEvent, RetireHook, RetireMode, RunResult, RunStats, Scoreboard, SimCase,
-    StallKind,
+    PendingKind, RetireEvent, RetireHook, RetireMode, RunError, RunResult, RunStats, Scoreboard,
+    SimCase, StallKind,
 };
 use ff_frontend::{FetchUnit, Gshare};
 use ff_isa::eval::{alu, effective_address};
@@ -1060,9 +1060,15 @@ impl<'a> Core<'a> {
 
     // ----------------------------------------------------------------- run
 
-    fn run(&mut self, case: &SimCase<'_>) -> RunResult {
+    fn run(&mut self, case: &SimCase<'_>) -> Result<RunResult, RunError> {
+        let cycle_cap = case.cycle_cap(self.cfg.machine.max_cycles);
         while !self.halted {
-            assert!(self.now < self.cfg.machine.max_cycles, "cycle cap exceeded");
+            if self.now >= cycle_cap {
+                return Err(RunError::CycleBudgetExceeded {
+                    limit: cycle_cap,
+                    retired: self.stats.retired,
+                });
+            }
             assert!(self.stats.retired < case.max_insts, "instruction budget exceeded");
             self.fetch.tick(self.program, &mut self.mem, self.now);
             self.fu.new_cycle(self.now);
@@ -1126,12 +1132,12 @@ impl<'a> Core<'a> {
         self.activity.srf_reads = self.srf.read_count();
         self.activity.srf_writes = self.srf.write_count();
 
-        RunResult {
+        Ok(RunResult {
             stats: self.stats.clone(),
             activity: self.activity,
             mem_stats: *self.mem.stats(),
             final_state: self.state.clone(),
-        }
+        })
     }
 
     fn bump_mode_cycles(&mut self) {
@@ -1156,7 +1162,11 @@ impl ExecutionModel for Multipass {
         }
     }
 
-    fn run_hooked(&mut self, case: &SimCase<'_>, hook: &mut dyn RetireHook) -> RunResult {
+    fn try_run_hooked(
+        &mut self,
+        case: &SimCase<'_>,
+        hook: &mut dyn RetireHook,
+    ) -> Result<RunResult, RunError> {
         Core::new(self.config, case, hook).run(case)
     }
 }
@@ -1169,7 +1179,7 @@ impl Multipass {
         let mut null = NullRetireHook;
         let mut core = Core::new(self.config, case, &mut null);
         core.mode_trace = Some(Vec::new());
-        let result = core.run(case);
+        let result = core.run(case).unwrap_or_else(|e| panic!("{e} — runaway program?"));
         (result, core.mode_trace.take().unwrap_or_default())
     }
 }
@@ -1234,6 +1244,14 @@ mod tests {
             mem.store(0x400_0000 + i * 4096, i);
         }
         (p, mem)
+    }
+
+    #[test]
+    fn cycle_budget_watchdog_aborts_multipass_runs() {
+        let (p, mem) = figure1_workload(64);
+        let case = SimCase::new(&p, mem).with_cycle_budget(20);
+        let err = Multipass::new(MachineConfig::default()).try_run(&case).unwrap_err();
+        assert!(matches!(err, RunError::CycleBudgetExceeded { limit: 20, .. }), "{err}");
     }
 
     #[test]

@@ -36,7 +36,7 @@ pub mod trace;
 pub use activity::Activity;
 pub use config::MachineConfig;
 pub use fu::FuPool;
-pub use model::{ExecutionModel, RunResult, SimCase};
+pub use model::{ExecutionModel, RunError, RunResult, SimCase};
 pub use retire::{EpisodeWindow, NullRetireHook, RetireEvent, RetireHook, RetireMode, RetireRing};
 pub use scoreboard::{operand_stall, PendingKind, Scoreboard};
 pub use stats::{RunStats, StallKind};

@@ -1,5 +1,7 @@
 //! The execution-model interface shared by every pipeline.
 
+use std::fmt;
+
 use ff_isa::{ArchState, MemoryImage, Program};
 use ff_mem::MemStats;
 
@@ -20,12 +22,34 @@ pub struct SimCase<'a> {
     pub initial_mem: MemoryImage,
     /// Safety cap on dynamic instructions (guards runaway programs).
     pub max_insts: u64,
+    /// Optional per-run cycle watchdog. When set, models abandon the run
+    /// with [`RunError::CycleBudgetExceeded`] once this many cycles have
+    /// been simulated, instead of panicking at the machine-wide
+    /// `max_cycles` cap. Campaign runners use this to time out wedged
+    /// jobs without taking down the whole campaign.
+    pub cycle_budget: Option<u64>,
 }
 
 impl<'a> SimCase<'a> {
     /// Creates a case with a default instruction budget.
     pub fn new(program: &'a Program, initial_mem: MemoryImage) -> Self {
-        SimCase { program, initial_mem, max_insts: 200_000_000 }
+        SimCase { program, initial_mem, max_insts: 200_000_000, cycle_budget: None }
+    }
+
+    /// Sets a cycle watchdog budget (see [`SimCase::cycle_budget`]).
+    pub fn with_cycle_budget(mut self, budget: u64) -> Self {
+        self.cycle_budget = Some(budget);
+        self
+    }
+
+    /// The effective cycle cap for a machine whose configured hard limit
+    /// is `machine_max`: the smaller of the watchdog budget and the
+    /// machine cap.
+    pub fn cycle_cap(&self, machine_max: u64) -> u64 {
+        match self.cycle_budget {
+            Some(b) => b.min(machine_max),
+            None => machine_max,
+        }
     }
 
     /// The initial architectural state implied by this case.
@@ -35,6 +59,31 @@ impl<'a> SimCase<'a> {
         s
     }
 }
+
+/// Why a simulation run was abandoned before the program halted.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RunError {
+    /// The run hit its effective cycle cap (the case's watchdog budget or
+    /// the machine's `max_cycles`, whichever is smaller) before halting.
+    CycleBudgetExceeded {
+        /// The cap that was hit.
+        limit: u64,
+        /// Instructions retired when the run was abandoned.
+        retired: u64,
+    },
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::CycleBudgetExceeded { limit, retired } => {
+                write!(f, "cycle budget exceeded: {limit} cycles simulated, {retired} retired")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
 
 /// Output of one simulation run.
 #[derive(Clone, Debug)]
@@ -52,20 +101,56 @@ pub struct RunResult {
 
 /// A cycle-level execution model (in-order, runahead, multipass,
 /// out-of-order).
-pub trait ExecutionModel {
+///
+/// Models are `Send` so campaign runners can execute independent
+/// simulations on worker threads; every model is plain configuration data
+/// between runs.
+pub trait ExecutionModel: Send {
     /// Short name used in experiment output ("inorder", "MP", "OOO", ...).
     fn name(&self) -> &'static str;
 
-    /// Simulates `case` to completion, reporting every retired dynamic
-    /// instruction to `hook` in retirement order. The hook must not affect
-    /// timing: `run_hooked` and [`ExecutionModel::run`] produce identical
+    /// Simulates `case` until the program halts or the effective cycle
+    /// cap ([`SimCase::cycle_cap`]) is hit, reporting every retired
+    /// dynamic instruction to `hook` in retirement order. The hook must
+    /// not affect timing: all `run*` variants produce identical
     /// [`RunResult`]s.
+    ///
+    /// # Errors
+    ///
+    /// [`RunError::CycleBudgetExceeded`] if the cap is reached first.
     ///
     /// # Panics
     ///
     /// Implementations panic if the program exceeds the case's instruction
-    /// budget or the configured cycle cap (indicating a malformed workload).
-    fn run_hooked(&mut self, case: &SimCase<'_>, hook: &mut dyn RetireHook) -> RunResult;
+    /// budget (indicating a malformed workload).
+    fn try_run_hooked(
+        &mut self,
+        case: &SimCase<'_>,
+        hook: &mut dyn RetireHook,
+    ) -> Result<RunResult, RunError>;
+
+    /// Simulates `case` to completion, reporting retirements to `hook`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on [`RunError`] (cycle cap exceeded — runaway program?) and
+    /// on an exceeded instruction budget.
+    fn run_hooked(&mut self, case: &SimCase<'_>, hook: &mut dyn RetireHook) -> RunResult {
+        match self.try_run_hooked(case, hook) {
+            Ok(r) => r,
+            Err(e) => panic!("{e} — runaway program?"),
+        }
+    }
+
+    /// Fallible variant of [`ExecutionModel::run`]: simulates `case` and
+    /// returns the results, or a [`RunError`] if the cycle cap was hit.
+    ///
+    /// # Errors
+    ///
+    /// See [`ExecutionModel::try_run_hooked`].
+    fn try_run(&mut self, case: &SimCase<'_>) -> Result<RunResult, RunError> {
+        self.try_run_hooked(case, &mut NullRetireHook)
+    }
 
     /// Simulates `case` to completion and returns the run's results.
     ///

@@ -5,7 +5,7 @@ use ff_engine::MachineConfig;
 use ff_power::Table1Row;
 use ff_workloads::Scale;
 
-use crate::suite::{HierKind, ModelKind, Suite};
+use crate::suite::{HierKind, ModelKind, ResultSource, Suite};
 
 /// Figure 6: normalized execution cycles with the four-way stall breakdown
 /// for baseline, multipass, and idealized out-of-order.
@@ -87,15 +87,16 @@ fn breakdown(result: &ff_engine::RunResult, norm: f64) -> [f64; 4] {
     ]
 }
 
-/// Runs the Figure 6 experiment.
-pub fn figure6(suite: &mut Suite) -> Figure6 {
+/// Runs the Figure 6 experiment over any result source (the serial
+/// [`Suite`] or a campaign artifact store).
+pub fn figure6<S: ResultSource + ?Sized>(suite: &mut S) -> Figure6 {
     let benches = suite.benchmarks();
     let mut rows = Vec::new();
     for bench in benches {
-        let base = suite.run(ModelKind::InOrder, HierKind::Base, bench).clone();
+        let base = suite.result(ModelKind::InOrder, HierKind::Base, bench).clone();
         let norm = base.stats.cycles as f64;
-        let mp = suite.run(ModelKind::Multipass, HierKind::Base, bench).clone();
-        let ooo = suite.run(ModelKind::Ooo, HierKind::Base, bench).clone();
+        let mp = suite.result(ModelKind::Multipass, HierKind::Base, bench).clone();
+        let ooo = suite.result(ModelKind::Ooo, HierKind::Base, bench).clone();
         rows.push(Figure6Row {
             bench,
             base: breakdown(&base, norm),
@@ -141,7 +142,7 @@ impl Figure7Config {
 }
 
 /// Runs the Figure 7 experiment.
-pub fn figure7(suite: &mut Suite) -> Figure7 {
+pub fn figure7<S: ResultSource + ?Sized>(suite: &mut S) -> Figure7 {
     let benches = suite.benchmarks();
     let mut configs = Vec::new();
     for hier in [HierKind::Base, HierKind::Config1, HierKind::Config2] {
@@ -166,7 +167,7 @@ pub struct Figure8 {
 }
 
 /// Runs the Figure 8 ablation.
-pub fn figure8(suite: &mut Suite) -> Figure8 {
+pub fn figure8<S: ResultSource + ?Sized>(suite: &mut S) -> Figure8 {
     let benches = suite.benchmarks();
     let mut rows = Vec::new();
     for bench in benches {
@@ -204,7 +205,7 @@ impl RealisticOooResult {
 }
 
 /// Runs the realistic-OOO comparison.
-pub fn realistic_ooo(suite: &mut Suite) -> RealisticOooResult {
+pub fn realistic_ooo<S: ResultSource + ?Sized>(suite: &mut S) -> RealisticOooResult {
     let benches = suite.benchmarks();
     let rows = benches
         .into_iter()
@@ -241,7 +242,7 @@ impl RunaheadResult {
 }
 
 /// Runs the runahead comparison.
-pub fn runahead_compare(suite: &mut Suite) -> RunaheadResult {
+pub fn runahead_compare<S: ResultSource + ?Sized>(suite: &mut S) -> RunaheadResult {
     let benches = suite.benchmarks();
     let rows = benches
         .into_iter()
@@ -257,13 +258,13 @@ pub fn runahead_compare(suite: &mut Suite) -> RunaheadResult {
 
 /// Table 1: power ratios computed from the aggregate activity of the
 /// Figure 6 out-of-order and multipass runs.
-pub fn table1_experiment(suite: &mut Suite) -> Vec<Table1Row> {
+pub fn table1_experiment<S: ResultSource + ?Sized>(suite: &mut S) -> Vec<Table1Row> {
     let benches = suite.benchmarks();
     let mut ooo_act = Activity::new();
     let mut mp_act = Activity::new();
     for bench in benches {
-        ooo_act += suite.run(ModelKind::Ooo, HierKind::Base, bench).activity;
-        mp_act += suite.run(ModelKind::Multipass, HierKind::Base, bench).activity;
+        ooo_act += suite.result(ModelKind::Ooo, HierKind::Base, bench).activity;
+        mp_act += suite.result(ModelKind::Multipass, HierKind::Base, bench).activity;
     }
     ff_power::table1(&ooo_act, &mp_act)
 }

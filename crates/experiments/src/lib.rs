@@ -19,10 +19,11 @@
 pub mod csv;
 pub mod figures;
 pub mod render;
+pub mod reports;
 pub mod suite;
 
 pub use figures::{
     figure6, figure7, figure8, realistic_ooo, runahead_compare, table1_experiment, table2, Figure6,
     Figure7, Figure8, RealisticOooResult, RunaheadResult,
 };
-pub use suite::{HierKind, ModelKind, Suite};
+pub use suite::{HierKind, ModelKind, ResultSource, Suite, UnknownBenchmark};

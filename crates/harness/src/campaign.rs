@@ -1,0 +1,407 @@
+//! Campaign execution: plan expansion, checkpointed parallel running,
+//! retries, and the per-job watchdog.
+
+use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+use ff_experiments::{reports, HierKind, ModelKind, Suite};
+use ff_workloads::{Scale, Workload};
+
+use crate::artifact::{render_report_artifact, render_sim_artifact, verify_header};
+use crate::job::{JobKind, JobSpec, REPORT_NAMES};
+use crate::json::Json;
+use crate::pool::run_jobs;
+
+/// Extra seeds (beyond the canonical seed 0) the full campaign runs for
+/// the seed-sensitivity study, on the models it compares.
+pub const SENSITIVITY_SEEDS: [u64; 3] = [1, 2, 3];
+
+/// The models the seed-sensitivity study compares.
+pub const SENSITIVITY_MODELS: [ModelKind; 2] = [ModelKind::InOrder, ModelKind::Multipass];
+
+/// How a campaign run treats one job.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JobStatus {
+    /// Executed this run and wrote its artifact.
+    Ok,
+    /// Skipped: a valid artifact with a matching config hash already
+    /// existed (checkpoint/resume).
+    Cached,
+    /// All attempts failed; no artifact written.
+    Failed,
+}
+
+impl JobStatus {
+    /// Lower-case status name (manifest field).
+    pub fn name(self) -> &'static str {
+        match self {
+            JobStatus::Ok => "ok",
+            JobStatus::Cached => "cached",
+            JobStatus::Failed => "failed",
+        }
+    }
+}
+
+/// The record of one job after a campaign run.
+#[derive(Clone, Debug)]
+pub struct JobOutcome {
+    /// The job.
+    pub spec: JobSpec,
+    /// How it ended.
+    pub status: JobStatus,
+    /// The last error, for failed jobs.
+    pub error: Option<String>,
+    /// Wall time spent executing (0 for cached jobs).
+    pub wall_ms: u64,
+    /// Attempts made (0 for cached jobs).
+    pub attempts: u32,
+}
+
+/// The result of one campaign run.
+#[derive(Clone, Debug)]
+pub struct CampaignReport {
+    /// Per-job outcomes, in plan order.
+    pub outcomes: Vec<JobOutcome>,
+    /// Total wall time of the run in seconds.
+    pub wall_s: f64,
+    /// Worker threads used.
+    pub workers: usize,
+    /// Workload scale.
+    pub scale: Scale,
+}
+
+impl CampaignReport {
+    /// Jobs executed this run.
+    pub fn ok(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.status == JobStatus::Ok).count()
+    }
+
+    /// Jobs skipped because their artifact was already checkpointed.
+    pub fn cached(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.status == JobStatus::Cached).count()
+    }
+
+    /// Jobs that exhausted their attempts.
+    pub fn failed(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.status == JobStatus::Failed).count()
+    }
+
+    /// The failed outcomes.
+    pub fn failures(&self) -> Vec<&JobOutcome> {
+        self.outcomes.iter().filter(|o| o.status == JobStatus::Failed).collect()
+    }
+}
+
+/// Deterministic fault injection for the checkpoint/resume tests: every
+/// job whose id contains `id_substring` fails its first `times` attempts.
+#[derive(Clone, Debug, Default)]
+pub struct FailureInjection {
+    /// Substring of [`JobSpec::id`] selecting the victim jobs.
+    pub id_substring: String,
+    /// Attempts to fail before succeeding.
+    pub times: u32,
+}
+
+/// Options for one campaign run.
+#[derive(Clone, Debug)]
+pub struct CampaignOptions {
+    /// Workload scale.
+    pub scale: Scale,
+    /// Worker threads (`--jobs`).
+    pub workers: usize,
+    /// Attempts per job (>= 1).
+    pub attempts: u32,
+    /// Per-job watchdog: abort a simulation after this many cycles and
+    /// mark it `failed: timeout` instead of hanging the campaign.
+    pub cycle_budget: Option<u64>,
+    /// Artifact directory.
+    pub out_dir: PathBuf,
+    /// Re-run jobs even when a valid artifact exists.
+    pub force: bool,
+    /// Emit live progress/ETA lines on stderr.
+    pub progress: bool,
+    /// Test-only fault injection.
+    pub inject: Option<FailureInjection>,
+}
+
+impl CampaignOptions {
+    /// Sensible defaults for `scale` writing into `out_dir`.
+    pub fn new(scale: Scale, out_dir: impl Into<PathBuf>) -> Self {
+        CampaignOptions {
+            scale,
+            workers: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            attempts: 1,
+            cycle_budget: None,
+            out_dir: out_dir.into(),
+            force: false,
+            progress: false,
+            inject: None,
+        }
+    }
+}
+
+/// Expands the full `run --all` plan for `scale`: the complete
+/// (model × hierarchy × benchmark) grid at seed 0, the extra
+/// seed-sensitivity points, and the standalone report jobs — everything
+/// needed to regenerate every file under `results/`.
+pub fn full_grid(scale: Scale) -> Vec<JobSpec> {
+    let mut jobs = Vec::new();
+    // The report jobs are by far the longest (each runs its own config
+    // sweep); scheduling them first lets them overlap the whole grid
+    // instead of serializing at the tail of the campaign.
+    for name in REPORT_NAMES {
+        jobs.push(JobSpec::report(name, scale));
+    }
+    for model in ModelKind::ALL {
+        for hier in HierKind::ALL {
+            for bench in Workload::NAMES {
+                jobs.push(JobSpec::sim(model, hier, bench, 0, scale));
+            }
+        }
+    }
+    for seed in SENSITIVITY_SEEDS {
+        for model in SENSITIVITY_MODELS {
+            for bench in Workload::NAMES {
+                jobs.push(JobSpec::sim(model, HierKind::Base, bench, seed, scale));
+            }
+        }
+    }
+    jobs
+}
+
+/// A sim-grid filter (`--filter model=MP bench=mcf`). Empty lists match
+/// everything; report jobs pass only an unconstrained filter.
+#[derive(Clone, Debug, Default)]
+pub struct JobFilter {
+    /// Models to keep.
+    pub models: Vec<ModelKind>,
+    /// Hierarchies to keep.
+    pub hiers: Vec<HierKind>,
+    /// Benchmarks to keep.
+    pub benches: Vec<String>,
+    /// Seeds to keep.
+    pub seeds: Vec<u64>,
+}
+
+impl JobFilter {
+    /// Whether any constraint is set.
+    pub fn is_empty(&self) -> bool {
+        self.models.is_empty()
+            && self.hiers.is_empty()
+            && self.benches.is_empty()
+            && self.seeds.is_empty()
+    }
+
+    /// Whether `spec` passes the filter.
+    pub fn matches(&self, spec: &JobSpec) -> bool {
+        match &spec.kind {
+            JobKind::Sim { model, hier, bench, seed } => {
+                (self.models.is_empty() || self.models.contains(model))
+                    && (self.hiers.is_empty() || self.hiers.contains(hier))
+                    && (self.benches.is_empty() || self.benches.iter().any(|b| b == bench))
+                    && (self.seeds.is_empty() || self.seeds.contains(seed))
+            }
+            // Reports aggregate the whole suite; they only run unfiltered.
+            JobKind::Report { .. } => self.is_empty(),
+        }
+    }
+}
+
+/// Per-worker state: a lazily generated workload cache, so a worker
+/// generates each (bench, seed) workload once no matter how many grid
+/// points reuse it.
+struct WorkerState {
+    workloads: BTreeMap<(&'static str, u64), Workload>,
+}
+
+fn compute_artifact(
+    state: &mut WorkerState,
+    spec: &JobSpec,
+    cycle_budget: Option<u64>,
+) -> Result<String, String> {
+    match &spec.kind {
+        JobKind::Sim { model, hier, bench, seed } => {
+            let scale = spec.scale;
+            let w = state.workloads.entry((bench, *seed)).or_insert_with(|| {
+                Workload::by_name_seeded(bench, scale, *seed).expect("plan uses known benchmarks")
+            });
+            let mut case = ff_engine::SimCase::new(&w.program, w.mem.clone());
+            if let Some(budget) = cycle_budget {
+                case = case.with_cycle_budget(budget);
+            }
+            match Suite::execute_case(*model, *hier, &case) {
+                Ok(result) => Ok(render_sim_artifact(spec, &result)),
+                Err(e) => Err(format!("timeout: {e}")),
+            }
+        }
+        JobKind::Report { name } => {
+            let text = match *name {
+                "ablation_structures" => reports::ablation_structures(spec.scale),
+                "unroll_effect" => reports::unroll_effect(),
+                other => return Err(format!("unknown report job `{other}`")),
+            };
+            Ok(render_report_artifact(spec, &text))
+        }
+    }
+}
+
+/// Whether a valid, hash-matching artifact for `spec` already exists.
+fn artifact_is_current(opts: &CampaignOptions, spec: &JobSpec) -> bool {
+    let path = opts.out_dir.join(spec.artifact_filename());
+    let Ok(text) = std::fs::read_to_string(&path) else { return false };
+    let Ok(doc) = Json::parse(&text) else { return false };
+    verify_header(spec, &doc).is_ok()
+}
+
+fn run_one(opts: &CampaignOptions, state: &mut WorkerState, spec: &JobSpec) -> JobOutcome {
+    if !opts.force && artifact_is_current(opts, spec) {
+        return JobOutcome {
+            spec: spec.clone(),
+            status: JobStatus::Cached,
+            error: None,
+            wall_ms: 0,
+            attempts: 0,
+        };
+    }
+    let started = Instant::now();
+    let mut last_err = String::from("no attempts made");
+    let mut attempts = 0;
+    while attempts < opts.attempts.max(1) {
+        attempts += 1;
+        let injected = opts
+            .inject
+            .as_ref()
+            .is_some_and(|f| spec.id().contains(&f.id_substring) && attempts <= f.times);
+        if injected {
+            last_err = format!("injected failure (attempt {attempts})");
+            continue;
+        }
+        let result =
+            catch_unwind(AssertUnwindSafe(|| compute_artifact(state, spec, opts.cycle_budget)))
+                .unwrap_or_else(|payload| {
+                    let msg = payload
+                        .downcast_ref::<&str>()
+                        .map(|s| s.to_string())
+                        .or_else(|| payload.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "panic with non-string payload".to_string());
+                    Err(format!("panicked: {msg}"))
+                });
+        match result {
+            Ok(artifact) => {
+                let path = opts.out_dir.join(spec.artifact_filename());
+                if let Err(e) = std::fs::write(&path, &artifact) {
+                    last_err = format!("write {}: {e}", path.display());
+                    continue;
+                }
+                return JobOutcome {
+                    spec: spec.clone(),
+                    status: JobStatus::Ok,
+                    error: None,
+                    wall_ms: started.elapsed().as_millis() as u64,
+                    attempts,
+                };
+            }
+            Err(e) => last_err = e,
+        }
+    }
+    JobOutcome {
+        spec: spec.clone(),
+        status: JobStatus::Failed,
+        error: Some(last_err),
+        wall_ms: started.elapsed().as_millis() as u64,
+        attempts,
+    }
+}
+
+fn eta_secs(done: usize, total: usize, elapsed_s: f64) -> f64 {
+    if done == 0 {
+        0.0
+    } else {
+        elapsed_s / done as f64 * (total - done) as f64
+    }
+}
+
+/// Runs `jobs` under `opts`: checkpoint skip, retries, watchdog, live
+/// progress, artifact writes. The manifest is written separately by
+/// [`crate::manifest::write_manifest`] so callers can stamp run metadata.
+///
+/// # Errors
+///
+/// Only on failure to create the artifact directory; per-job failures are
+/// reported in the returned [`CampaignReport`].
+pub fn run_campaign(jobs: &[JobSpec], opts: &CampaignOptions) -> std::io::Result<CampaignReport> {
+    std::fs::create_dir_all(&opts.out_dir)?;
+    let started = Instant::now();
+    let done = AtomicUsize::new(0);
+    let total = jobs.len();
+    let outcomes = run_jobs(
+        jobs,
+        opts.workers,
+        |_wid| WorkerState { workloads: BTreeMap::new() },
+        |state, _i, spec| {
+            let outcome = run_one(opts, state, spec);
+            let n = done.fetch_add(1, Ordering::Relaxed) + 1;
+            if opts.progress {
+                let elapsed = started.elapsed().as_secs_f64();
+                eprintln!(
+                    "[{n}/{total}] {} {} {}ms eta {:.0}s",
+                    outcome.spec.id(),
+                    outcome.status.name(),
+                    outcome.wall_ms,
+                    eta_secs(n, total, elapsed),
+                );
+            }
+            outcome
+        },
+    );
+    Ok(CampaignReport {
+        outcomes,
+        wall_s: started.elapsed().as_secs_f64(),
+        workers: opts.workers,
+        scale: opts.scale,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_grid_covers_every_results_file_input() {
+        let jobs = full_grid(Scale::Test);
+        // 7 models × 3 hierarchies × 12 benches + 3 seeds × 2 models × 12
+        // benches + 2 reports.
+        assert_eq!(jobs.len(), 7 * 3 * 12 + 3 * 2 * 12 + 2);
+        let ids: std::collections::BTreeSet<String> = jobs.iter().map(|j| j.id()).collect();
+        assert_eq!(ids.len(), jobs.len(), "plan has duplicate jobs");
+        assert!(ids.contains("mcf/MP/base/s0@test"));
+        assert!(ids.contains("gzip/inorder/base/s3@test"));
+        assert!(ids.contains("report/ablation_structures@test"));
+    }
+
+    #[test]
+    fn filter_selects_sim_subsets_and_drops_reports() {
+        let f = JobFilter {
+            models: vec![ModelKind::Multipass],
+            benches: vec!["mcf".into()],
+            ..JobFilter::default()
+        };
+        let kept: Vec<JobSpec> =
+            full_grid(Scale::Test).into_iter().filter(|j| f.matches(j)).collect();
+        // MP × mcf: 3 hierarchies at seed 0 + 3 sensitivity seeds at base.
+        assert_eq!(kept.len(), 3 + 3);
+        assert!(kept.iter().all(|j| !matches!(j.kind, JobKind::Report { .. })));
+        let unfiltered = JobFilter::default();
+        assert!(full_grid(Scale::Test).iter().all(|j| unfiltered.matches(j)));
+    }
+
+    #[test]
+    fn eta_interpolates_linearly() {
+        assert_eq!(eta_secs(0, 10, 5.0), 0.0);
+        assert!((eta_secs(5, 10, 5.0) - 5.0).abs() < 1e-12);
+        assert_eq!(eta_secs(10, 10, 7.0), 0.0);
+    }
+}

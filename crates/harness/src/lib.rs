@@ -1,0 +1,48 @@
+//! Parallel experiment campaign runner for the flea-flicker simulator.
+//!
+//! `ff-harness` turns the (model × hierarchy × benchmark × scale × seed)
+//! experiment space into independent jobs and runs them on a
+//! work-stealing pool of scoped threads, with:
+//!
+//! * **checkpoint/resume** — each completed job is a content-addressed
+//!   JSON artifact ([`job::JobSpec::config_hash`]); re-running a campaign
+//!   skips jobs whose artifact already exists for the same configuration;
+//! * **watchdogs** — a per-job cycle budget aborts runaway simulations as
+//!   `failed: timeout` instead of hanging the campaign
+//!   ([`ff_engine::RunError::CycleBudgetExceeded`]);
+//! * **retries** — transient failures re-attempt up to `--retries` times;
+//! * **reproducible manifests** — `manifest.json` records config hashes,
+//!   seeds, scale, git revision, per-job wall time, and worker count;
+//! * **artifact-backed rendering** — [`store::ArtifactStore`] implements
+//!   [`ff_experiments::ResultSource`], so every figure/table under
+//!   `results/` re-renders from checkpointed artifacts without
+//!   re-simulating ([`render_results::render_all`]).
+//!
+//! The `ff-campaign` binary is the CLI front end; see `EXPERIMENTS.md`.
+//!
+//! Artifacts are byte-deterministic: a `--jobs 4` campaign produces
+//! bit-for-bit the same files as `--jobs 1` (pinned by the
+//! `parallel_equals_serial` integration test). Determinism comes from job
+//! independence — workers race only for *which* job to pull next, never
+//! over a job's inputs or outputs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod artifact;
+pub mod campaign;
+pub mod job;
+pub mod json;
+pub mod manifest;
+pub mod pool;
+pub mod render_results;
+pub mod store;
+
+pub use campaign::{
+    full_grid, run_campaign, CampaignOptions, CampaignReport, FailureInjection, JobFilter,
+    JobOutcome, JobStatus,
+};
+pub use job::{JobKind, JobSpec, FORMAT_VERSION};
+pub use manifest::{read_manifest, write_manifest, ManifestSummary};
+pub use render_results::render_all;
+pub use store::ArtifactStore;

@@ -1,0 +1,285 @@
+//! `ff-campaign` — the campaign runner CLI.
+//!
+//! ```text
+//! ff-campaign run --all --scale test --jobs 4
+//! ff-campaign run --filter model=MP --filter bench=mcf
+//! ff-campaign resume --all
+//! ff-campaign list --all --scale paper
+//! ff-campaign status
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use ff_experiments::{HierKind, ModelKind, UnknownBenchmark};
+use ff_harness::{
+    full_grid, job::parse_scale, job::scale_name, read_manifest, render_all, run_campaign,
+    write_manifest, ArtifactStore, CampaignOptions, JobFilter, JobSpec,
+};
+use ff_workloads::{Scale, Workload};
+
+const USAGE: &str = "\
+ff-campaign — parallel experiment campaign runner
+
+USAGE:
+    ff-campaign run    [OPTIONS]   execute the campaign (resumes from checkpoint)
+    ff-campaign resume [OPTIONS]   alias for `run`
+    ff-campaign list   [OPTIONS]   print the job plan without running it
+    ff-campaign status [--out DIR] summarize the last run's manifest
+
+OPTIONS:
+    --all                 the full grid + seed-sensitivity + report jobs (default)
+    --filter KEY=VALUE    keep only matching sim jobs; repeatable; keys:
+                          model, hier, bench, seed (e.g. --filter model=MP)
+    --scale test|paper    workload scale (default: test)
+    --jobs N              worker threads (default: available parallelism)
+    --retries N           extra attempts per failed job (default: 0)
+    --cycle-budget N      per-job watchdog: abort a simulation after N cycles
+    --out DIR             artifact directory (default: results/campaign/<scale>)
+    --results DIR         where `run` renders the results files (default: results)
+    --force               re-run jobs even when a valid artifact exists
+    --no-render           skip rendering the results files after the run
+    --quiet               suppress per-job progress lines
+    --help                this text
+
+`run` exits 0 when every job succeeded (or was cached), 1 when any job
+failed, and 2 on usage errors.";
+
+struct Cli {
+    cmd: String,
+    scale: Scale,
+    jobs: usize,
+    retries: u32,
+    cycle_budget: Option<u64>,
+    out: Option<PathBuf>,
+    results: PathBuf,
+    force: bool,
+    render: bool,
+    quiet: bool,
+    filter: JobFilter,
+}
+
+fn usage_err(msg: &str) -> String {
+    format!("{msg}\n\n{USAGE}")
+}
+
+fn parse_filter(filter: &mut JobFilter, kv: &str) -> Result<(), String> {
+    let (key, value) = kv
+        .split_once('=')
+        .ok_or_else(|| usage_err(&format!("bad --filter `{kv}` (want KEY=VALUE)")))?;
+    match key {
+        "model" => filter.models.push(ModelKind::parse(value).ok_or_else(|| {
+            let names: Vec<&str> = ModelKind::ALL.iter().map(|m| m.name()).collect();
+            usage_err(&format!("unknown model {value:?}; valid names: {}", names.join(", ")))
+        })?),
+        "hier" => filter.hiers.push(HierKind::parse(value).ok_or_else(|| {
+            let names: Vec<&str> = HierKind::ALL.iter().map(|h| h.name()).collect();
+            usage_err(&format!("unknown hierarchy {value:?}; valid names: {}", names.join(", ")))
+        })?),
+        "bench" => {
+            // Validate up front so a typo fails before hours of simulation.
+            if !Workload::NAMES.contains(&value) {
+                return Err(usage_err(&UnknownBenchmark { name: value.to_string() }.to_string()));
+            }
+            filter.benches.push(value.to_string());
+        }
+        "seed" => {
+            filter.seeds.push(value.parse().map_err(|_| usage_err(&format!("bad seed `{value}`")))?)
+        }
+        other => return Err(usage_err(&format!("unknown filter key `{other}`"))),
+    }
+    Ok(())
+}
+
+fn parse_cli(argv: &[String]) -> Result<Cli, String> {
+    let cmd = argv.first().cloned().unwrap_or_default();
+    if cmd.is_empty() || cmd == "--help" || cmd == "-h" || cmd == "help" {
+        return Err(USAGE.to_string());
+    }
+    if !matches!(cmd.as_str(), "run" | "resume" | "list" | "status") {
+        return Err(usage_err(&format!("unknown command `{cmd}`")));
+    }
+    let mut cli = Cli {
+        cmd,
+        scale: Scale::Test,
+        jobs: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        retries: 0,
+        cycle_budget: None,
+        out: None,
+        results: PathBuf::from("results"),
+        force: false,
+        render: true,
+        quiet: false,
+        filter: JobFilter::default(),
+    };
+    let mut it = argv[1..].iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next().cloned().ok_or_else(|| usage_err(&format!("{name} needs a value")))
+        };
+        match arg.as_str() {
+            "--all" => {} // the default plan; accepted for explicitness
+            "--filter" => parse_filter(&mut cli.filter, &value("--filter")?)?,
+            "--scale" => {
+                let v = value("--scale")?;
+                cli.scale = parse_scale(&v)
+                    .ok_or_else(|| usage_err(&format!("bad --scale `{v}` (want test|paper)")))?;
+            }
+            "--jobs" => {
+                let v = value("--jobs")?;
+                cli.jobs = v
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| usage_err(&format!("bad --jobs `{v}`")))?;
+            }
+            "--retries" => {
+                let v = value("--retries")?;
+                cli.retries = v.parse().map_err(|_| usage_err(&format!("bad --retries `{v}`")))?;
+            }
+            "--cycle-budget" => {
+                let v = value("--cycle-budget")?;
+                cli.cycle_budget =
+                    Some(v.parse().map_err(|_| usage_err(&format!("bad --cycle-budget `{v}`")))?);
+            }
+            "--out" => cli.out = Some(PathBuf::from(value("--out")?)),
+            "--results" => cli.results = PathBuf::from(value("--results")?),
+            "--force" => cli.force = true,
+            "--no-render" => cli.render = false,
+            "--quiet" => cli.quiet = true,
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(usage_err(&format!("unknown option `{other}`"))),
+        }
+    }
+    Ok(cli)
+}
+
+fn plan(cli: &Cli) -> Vec<JobSpec> {
+    full_grid(cli.scale).into_iter().filter(|j| cli.filter.matches(j)).collect()
+}
+
+fn out_dir(cli: &Cli) -> PathBuf {
+    cli.out.clone().unwrap_or_else(|| PathBuf::from("results/campaign").join(scale_name(cli.scale)))
+}
+
+fn cmd_list(cli: &Cli) -> ExitCode {
+    let jobs = plan(cli);
+    for j in &jobs {
+        println!("{}  {:016x}", j.id(), j.config_hash());
+    }
+    eprintln!("{} jobs at {} scale", jobs.len(), scale_name(cli.scale));
+    ExitCode::SUCCESS
+}
+
+fn cmd_status(cli: &Cli) -> ExitCode {
+    let dir = out_dir(cli);
+    match read_manifest(&dir) {
+        Ok(m) => {
+            println!(
+                "campaign at {}: scale {}, {} workers, git {}, wall {:.1}s",
+                dir.display(),
+                m.scale,
+                m.workers,
+                m.git,
+                m.wall_s
+            );
+            println!("jobs: {} ok, {} cached, {} failed", m.ok, m.cached, m.failed);
+            for id in &m.failed_ids {
+                println!("  failed: {id}");
+            }
+            if m.failed > 0 {
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        Err(e) => {
+            eprintln!("ff-campaign: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_run(cli: &Cli) -> ExitCode {
+    let jobs = plan(cli);
+    if jobs.is_empty() {
+        eprintln!("ff-campaign: the filter matches no jobs");
+        return ExitCode::from(2);
+    }
+    let dir = out_dir(cli);
+    let mut opts = CampaignOptions::new(cli.scale, &dir);
+    opts.workers = cli.jobs;
+    opts.attempts = cli.retries + 1;
+    opts.cycle_budget = cli.cycle_budget;
+    opts.force = cli.force;
+    opts.progress = !cli.quiet;
+    if !cli.quiet {
+        eprintln!(
+            "ff-campaign: {} jobs at {} scale on {} workers -> {}",
+            jobs.len(),
+            scale_name(cli.scale),
+            opts.workers,
+            dir.display()
+        );
+    }
+    let report = match run_campaign(&jobs, &opts) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("ff-campaign: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = write_manifest(&dir, &report) {
+        eprintln!("ff-campaign: writing manifest: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!(
+        "ff-campaign: {} ok, {} cached, {} failed in {:.1}s",
+        report.ok(),
+        report.cached(),
+        report.failed(),
+        report.wall_s
+    );
+    for f in report.failures() {
+        eprintln!("  failed: {} ({})", f.spec.id(), f.error.as_deref().unwrap_or("unknown"));
+    }
+    if report.failed() > 0 {
+        return ExitCode::FAILURE;
+    }
+    // Rendering needs the complete artifact set; a filtered run keeps its
+    // artifacts but cannot regenerate the aggregate results files.
+    if cli.render && cli.filter.is_empty() {
+        let mut store = ArtifactStore::new(&dir, cli.scale);
+        match render_all(&mut store, &cli.results, report.wall_s) {
+            Ok(written) => {
+                if !cli.quiet {
+                    eprintln!("ff-campaign: rendered {} results files", written.len());
+                }
+            }
+            Err(e) => {
+                eprintln!("ff-campaign: rendering results: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else if cli.render && !cli.quiet {
+        eprintln!("ff-campaign: filtered run; skipping results rendering");
+    }
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let cli = match parse_cli(&argv) {
+        Ok(cli) => cli,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    match cli.cmd.as_str() {
+        "run" | "resume" => cmd_run(&cli),
+        "list" => cmd_list(&cli),
+        "status" => cmd_status(&cli),
+        _ => unreachable!("parse_cli validated the command"),
+    }
+}

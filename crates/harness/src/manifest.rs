@@ -1,0 +1,206 @@
+//! The run manifest: reproducibility metadata for one campaign run.
+//!
+//! Unlike artifacts, the manifest is *not* content-addressed — it records
+//! the circumstances of the run (wall time per job, worker count, git
+//! revision), so it legitimately differs between otherwise identical runs.
+
+use std::collections::BTreeSet;
+use std::path::Path;
+
+use crate::campaign::CampaignReport;
+use crate::job::{scale_name, JobKind, FORMAT_VERSION};
+use crate::json::Json;
+
+/// The manifest file name inside the campaign output directory.
+pub const MANIFEST_NAME: &str = "manifest.json";
+
+/// `git describe --always --dirty` for the repo containing `dir`, or
+/// `"unknown"` when git (or the repo) is unavailable.
+pub fn git_describe(dir: &Path) -> String {
+    std::process::Command::new("git")
+        .args(["describe", "--always", "--dirty"])
+        .current_dir(dir)
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Renders the manifest JSON for `report`.
+pub fn render_manifest(report: &CampaignReport, git: &str) -> String {
+    let seeds: BTreeSet<u64> = report
+        .outcomes
+        .iter()
+        .filter_map(|o| match o.spec.kind {
+            JobKind::Sim { seed, .. } => Some(seed),
+            JobKind::Report { .. } => None,
+        })
+        .collect();
+    let jobs: Vec<Json> = report
+        .outcomes
+        .iter()
+        .map(|o| {
+            let mut fields = vec![
+                ("id", Json::Str(o.spec.id())),
+                ("config_hash", Json::Str(format!("{:016x}", o.spec.config_hash()))),
+                ("status", Json::Str(o.status.name().into())),
+                ("attempts", Json::U64(o.attempts as u64)),
+                ("wall_ms", Json::U64(o.wall_ms)),
+            ];
+            if let Some(err) = &o.error {
+                fields.push(("error", Json::Str(err.clone())));
+            }
+            Json::obj(fields)
+        })
+        .collect();
+    Json::obj(vec![
+        ("format", Json::U64(FORMAT_VERSION as u64)),
+        ("scale", Json::Str(scale_name(report.scale).into())),
+        ("workers", Json::U64(report.workers as u64)),
+        ("git", Json::Str(git.into())),
+        ("wall_s", Json::F64(report.wall_s)),
+        ("seeds", Json::Arr(seeds.into_iter().map(Json::U64).collect())),
+        (
+            "counts",
+            Json::obj(vec![
+                ("ok", Json::U64(report.ok() as u64)),
+                ("cached", Json::U64(report.cached() as u64)),
+                ("failed", Json::U64(report.failed() as u64)),
+            ]),
+        ),
+        ("jobs", Json::Arr(jobs)),
+    ])
+    .render()
+}
+
+/// Writes the manifest for `report` into its output directory.
+pub fn write_manifest(dir: &Path, report: &CampaignReport) -> std::io::Result<()> {
+    // Describe the *working* directory's repository, not the artifact
+    // directory's — campaigns often write outside the source tree.
+    let git = git_describe(Path::new("."));
+    std::fs::write(dir.join(MANIFEST_NAME), render_manifest(report, &git))
+}
+
+/// A parsed manifest, as consumed by `ff-campaign status` and CI.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ManifestSummary {
+    /// Scale name (`test`/`paper`).
+    pub scale: String,
+    /// Worker threads used.
+    pub workers: u64,
+    /// Git revision the run was produced from.
+    pub git: String,
+    /// Total wall time in seconds.
+    pub wall_s: f64,
+    /// Jobs executed.
+    pub ok: u64,
+    /// Jobs reused from checkpoint.
+    pub cached: u64,
+    /// Jobs that failed.
+    pub failed: u64,
+    /// Ids of failed jobs.
+    pub failed_ids: Vec<String>,
+}
+
+/// Reads and summarizes `manifest.json` from a campaign directory.
+///
+/// # Errors
+///
+/// On a missing, unparsable, or structurally invalid manifest.
+pub fn read_manifest(dir: &Path) -> Result<ManifestSummary, String> {
+    let path = dir.join(MANIFEST_NAME);
+    let text =
+        std::fs::read_to_string(&path).map_err(|e| format!("read {}: {e}", path.display()))?;
+    let doc = Json::parse(&text).map_err(|e| format!("parse {}: {e}", path.display()))?;
+    let counts = doc.get("counts").ok_or("missing counts")?;
+    let field = |obj: &Json, key: &str| {
+        obj.get(key).and_then(Json::as_u64).ok_or_else(|| format!("missing integer `{key}`"))
+    };
+    let failed_ids = doc
+        .get("jobs")
+        .and_then(Json::as_arr)
+        .map(|jobs| {
+            jobs.iter()
+                .filter(|j| j.get("status").and_then(Json::as_str) == Some("failed"))
+                .filter_map(|j| j.get("id").and_then(Json::as_str).map(str::to_string))
+                .collect()
+        })
+        .unwrap_or_default();
+    Ok(ManifestSummary {
+        scale: doc.get("scale").and_then(Json::as_str).unwrap_or("unknown").to_string(),
+        workers: field(&doc, "workers")?,
+        git: doc.get("git").and_then(Json::as_str).unwrap_or("unknown").to_string(),
+        wall_s: doc.get("wall_s").and_then(Json::as_f64).unwrap_or(0.0),
+        ok: field(counts, "ok")?,
+        cached: field(counts, "cached")?,
+        failed: field(counts, "failed")?,
+        failed_ids,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::{JobOutcome, JobStatus};
+    use crate::job::JobSpec;
+    use ff_experiments::{HierKind, ModelKind};
+    use ff_workloads::Scale;
+
+    fn sample_report() -> CampaignReport {
+        let ok_spec = JobSpec::sim(ModelKind::Multipass, HierKind::Base, "mcf", 0, Scale::Test);
+        let bad_spec = JobSpec::sim(ModelKind::Ooo, HierKind::Config1, "art", 2, Scale::Test);
+        CampaignReport {
+            outcomes: vec![
+                JobOutcome {
+                    spec: ok_spec,
+                    status: JobStatus::Ok,
+                    error: None,
+                    wall_ms: 42,
+                    attempts: 1,
+                },
+                JobOutcome {
+                    spec: bad_spec,
+                    status: JobStatus::Failed,
+                    error: Some("timeout: cycle budget exceeded".into()),
+                    wall_ms: 7,
+                    attempts: 3,
+                },
+            ],
+            wall_s: 1.25,
+            workers: 4,
+            scale: Scale::Test,
+        }
+    }
+
+    #[test]
+    fn manifest_round_trips_through_summary() {
+        let dir = std::env::temp_dir().join(format!("ff-manifest-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let report = sample_report();
+        std::fs::write(dir.join(MANIFEST_NAME), render_manifest(&report, "deadbeef")).unwrap();
+        let summary = read_manifest(&dir).unwrap();
+        assert_eq!(summary.scale, "test");
+        assert_eq!(summary.workers, 4);
+        assert_eq!(summary.git, "deadbeef");
+        assert_eq!((summary.ok, summary.cached, summary.failed), (1, 0, 1));
+        assert_eq!(summary.failed_ids, vec!["art/ooo/config1/s2@test".to_string()]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn manifest_records_seeds_and_wall_time() {
+        let text = render_manifest(&sample_report(), "unknown");
+        assert!(text.contains("\"seeds\""));
+        assert!(text.contains("\"wall_s\""), "{text}");
+        assert!(text.contains("\"wall_ms\": 42"));
+    }
+
+    #[test]
+    fn git_describe_never_panics() {
+        let desc = git_describe(Path::new("/"));
+        assert!(!desc.is_empty());
+    }
+}

@@ -1,0 +1,114 @@
+//! A deterministic self-scheduling worker pool over scoped threads.
+//!
+//! Workers pull the next job index from a shared atomic cursor, so the
+//! *assignment* of jobs to workers is racy — but every job is independent
+//! and results are scattered back by job index, so the returned vector is
+//! identical for any worker count. That property (not lock-step
+//! scheduling) is what the `--jobs 4` ≡ `--jobs 1` determinism test pins.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Runs `run` over every job on `workers` threads, returning results in
+/// job order regardless of which worker executed which job.
+///
+/// `init(worker_id)` builds one per-worker state value (e.g. a workload
+/// cache) that is threaded through every job that worker executes.
+pub fn run_jobs<J, S, R>(
+    jobs: &[J],
+    workers: usize,
+    init: impl Fn(usize) -> S + Sync,
+    run: impl Fn(&mut S, usize, &J) -> R + Sync,
+) -> Vec<R>
+where
+    J: Sync,
+    R: Send,
+{
+    let workers = workers.clamp(1, jobs.len().max(1));
+    let cursor = AtomicUsize::new(0);
+    let mut slots: Vec<Option<R>> = (0..jobs.len()).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|wid| {
+                let cursor = &cursor;
+                let init = &init;
+                let run = &run;
+                scope.spawn(move || {
+                    let mut state = init(wid);
+                    let mut out = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= jobs.len() {
+                            break;
+                        }
+                        out.push((i, run(&mut state, i, &jobs[i])));
+                    }
+                    out
+                })
+            })
+            .collect();
+        for h in handles {
+            for (i, r) in h.join().expect("campaign worker panicked") {
+                slots[i] = Some(r);
+            }
+        }
+    });
+    slots.into_iter().map(|s| s.expect("every job index visited exactly once")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_job_order_for_any_worker_count() {
+        let jobs: Vec<u64> = (0..97).collect();
+        let serial = run_jobs(&jobs, 1, |_| (), |_, _, j| j * j);
+        for workers in [2, 3, 8] {
+            let parallel = run_jobs(&jobs, workers, |_| (), |_, _, j| j * j);
+            assert_eq!(parallel, serial, "workers={workers}");
+        }
+        assert_eq!(serial[10], 100);
+    }
+
+    #[test]
+    fn every_job_runs_exactly_once() {
+        use std::sync::atomic::AtomicU64;
+        let jobs: Vec<usize> = (0..50).collect();
+        let hits = AtomicU64::new(0);
+        let out = run_jobs(
+            &jobs,
+            4,
+            |_| (),
+            |_, i, j| {
+                hits.fetch_add(1, Ordering::Relaxed);
+                assert_eq!(i, *j);
+                i
+            },
+        );
+        assert_eq!(hits.load(Ordering::Relaxed), 50);
+        assert_eq!(out.len(), 50);
+    }
+
+    #[test]
+    fn worker_state_persists_across_jobs() {
+        // Each worker counts the jobs it ran; counts must total the job count.
+        let jobs: Vec<usize> = (0..40).collect();
+        let counts: Vec<AtomicUsize> = (0..3).map(|_| AtomicUsize::new(0)).collect();
+        run_jobs(
+            &jobs,
+            3,
+            |wid| wid,
+            |wid, _, _| {
+                counts[*wid].fetch_add(1, Ordering::Relaxed);
+            },
+        );
+        let total: usize = counts.iter().map(|c| c.load(Ordering::Relaxed)).sum();
+        assert_eq!(total, 40);
+    }
+
+    #[test]
+    fn empty_job_list_is_fine() {
+        let out: Vec<u32> = run_jobs(&[] as &[u32], 8, |_| (), |_, _, j| *j);
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,168 @@
+//! Read side of the campaign checkpoint: an artifact directory as a
+//! [`ResultSource`].
+//!
+//! The figure/table experiments in `ff-experiments` are written against
+//! [`ResultSource`], so pointing them at an [`ArtifactStore`] renders the
+//! same reports from checkpointed artifacts that `Suite` renders from live
+//! simulations — without re-running anything.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+use ff_engine::RunResult;
+use ff_experiments::{HierKind, ModelKind, ResultSource};
+use ff_workloads::{Scale, Workload};
+
+use crate::artifact::{parse_report_artifact, parse_sim_artifact};
+use crate::job::JobSpec;
+
+/// A campaign artifact directory, memoized per grid point.
+pub struct ArtifactStore {
+    dir: PathBuf,
+    scale: Scale,
+    cache: BTreeMap<(ModelKind, HierKind, &'static str, u64), RunResult>,
+}
+
+impl ArtifactStore {
+    /// Opens (without scanning) the artifact directory for `scale`.
+    pub fn new(dir: impl Into<PathBuf>, scale: Scale) -> Self {
+        ArtifactStore { dir: dir.into(), scale, cache: BTreeMap::new() }
+    }
+
+    /// The scale this store reads artifacts for.
+    pub fn scale(&self) -> Scale {
+        self.scale
+    }
+
+    /// The artifact path for `spec` inside this store.
+    pub fn path_for(&self, spec: &JobSpec) -> PathBuf {
+        self.dir.join(spec.artifact_filename())
+    }
+
+    /// Whether a (content-address-matching) artifact exists for `spec`.
+    pub fn contains(&self, spec: &JobSpec) -> bool {
+        self.path_for(spec).is_file()
+    }
+
+    /// Loads the simulation result for one grid point.
+    ///
+    /// # Errors
+    ///
+    /// Describes the missing/corrupt artifact, including the `ff-campaign`
+    /// invocation that would produce it.
+    pub fn try_result_seeded(
+        &mut self,
+        model: ModelKind,
+        hier: HierKind,
+        bench: &'static str,
+        seed: u64,
+    ) -> Result<&RunResult, String> {
+        let key = (model, hier, bench, seed);
+        if !self.cache.contains_key(&key) {
+            let spec = JobSpec::sim(model, hier, bench, seed, self.scale);
+            let path = self.path_for(&spec);
+            let text = std::fs::read_to_string(&path).map_err(|e| {
+                format!(
+                    "no artifact for {} at {} ({e}); run `ff-campaign run --all --scale {}` first",
+                    spec.id(),
+                    path.display(),
+                    crate::job::scale_name(self.scale),
+                )
+            })?;
+            let result = parse_sim_artifact(&spec, &text)
+                .map_err(|e| format!("corrupt artifact {}: {e}", path.display()))?;
+            self.cache.insert(key, result);
+        }
+        Ok(&self.cache[&key])
+    }
+
+    /// Like [`ArtifactStore::try_result_seeded`] but panics with the error
+    /// message (matching [`ResultSource::result`]'s contract).
+    pub fn result_seeded(
+        &mut self,
+        model: ModelKind,
+        hier: HierKind,
+        bench: &'static str,
+        seed: u64,
+    ) -> &RunResult {
+        // Two-phase to satisfy the borrow checker: probe first, then return.
+        if let Err(e) = self.try_result_seeded(model, hier, bench, seed) {
+            panic!("{e}");
+        }
+        &self.cache[&(model, hier, bench, seed)]
+    }
+
+    /// Cycle count for a seeded grid point (seed-sensitivity rendering).
+    pub fn seeded_cycles(&mut self, model: ModelKind, bench: &'static str, seed: u64) -> u64 {
+        self.result_seeded(model, HierKind::Base, bench, seed).stats.cycles
+    }
+
+    /// The rendered text of a report artifact.
+    ///
+    /// # Errors
+    ///
+    /// Describes the missing/corrupt artifact.
+    pub fn report_text(&self, name: &'static str) -> Result<String, String> {
+        let spec = JobSpec::report(name, self.scale);
+        let path = self.path_for(&spec);
+        let text = std::fs::read_to_string(&path).map_err(|e| {
+            format!(
+                "no artifact for {} at {} ({e}); run `ff-campaign run --all --scale {}` first",
+                spec.id(),
+                path.display(),
+                crate::job::scale_name(self.scale),
+            )
+        })?;
+        parse_report_artifact(&spec, &text)
+            .map_err(|e| format!("corrupt artifact {}: {e}", path.display()))
+    }
+
+    /// The directory this store reads from.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+}
+
+impl ResultSource for ArtifactStore {
+    fn benchmarks(&self) -> Vec<&'static str> {
+        Workload::NAMES.to_vec()
+    }
+
+    fn result(&mut self, model: ModelKind, hier: HierKind, bench: &'static str) -> &RunResult {
+        self.result_seeded(model, hier, bench, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::artifact::render_sim_artifact;
+    use ff_experiments::Suite;
+
+    #[test]
+    fn store_round_trips_a_live_result() {
+        let dir = std::env::temp_dir().join(format!("ff-store-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let w = Workload::by_name("mesa", Scale::Test).unwrap();
+        let live = Suite::execute(ModelKind::InOrder, HierKind::Base, &w);
+        let spec = JobSpec::sim(ModelKind::InOrder, HierKind::Base, "mesa", 0, Scale::Test);
+        std::fs::write(dir.join(spec.artifact_filename()), render_sim_artifact(&spec, &live))
+            .unwrap();
+
+        let mut store = ArtifactStore::new(&dir, Scale::Test);
+        assert!(store.contains(&spec));
+        let loaded = store.result(ModelKind::InOrder, HierKind::Base, "mesa");
+        assert_eq!(loaded.stats, live.stats);
+        assert_eq!(loaded.activity, live.activity);
+        assert_eq!(loaded.mem_stats, live.mem_stats);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_artifact_error_names_the_campaign_command() {
+        let mut store = ArtifactStore::new("/nonexistent-ff-campaign-dir", Scale::Test);
+        let err = store.try_result_seeded(ModelKind::Ooo, HierKind::Base, "mcf", 0).unwrap_err();
+        assert!(err.contains("ff-campaign run --all"), "{err}");
+        assert!(err.contains("mcf/ooo/base/s0@test"), "{err}");
+    }
+}

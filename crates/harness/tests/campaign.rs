@@ -1,0 +1,168 @@
+//! Campaign integration tests: parallel/serial determinism,
+//! checkpoint/resume, and the watchdog.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+use ff_experiments::{HierKind, ModelKind};
+use ff_harness::{full_grid, run_campaign, CampaignOptions, FailureInjection, JobSpec, JobStatus};
+use ff_workloads::Scale;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ff-campaign-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn artifact_bytes(dir: &Path) -> BTreeMap<String, Vec<u8>> {
+    std::fs::read_dir(dir)
+        .unwrap()
+        .map(|e| e.unwrap())
+        .filter(|e| e.file_name().to_string_lossy().ends_with(".json"))
+        .map(|e| (e.file_name().to_string_lossy().into_owned(), std::fs::read(e.path()).unwrap()))
+        .collect()
+}
+
+/// `--jobs 4` must produce bit-for-bit the artifacts of `--jobs 1`: same
+/// file set, same bytes (stats, activity, memory counters all included),
+/// for all seven models.
+#[test]
+fn parallel_equals_serial() {
+    let jobs: Vec<JobSpec> = ModelKind::ALL
+        .into_iter()
+        .flat_map(|model| {
+            ["mcf", "gzip", "art"]
+                .into_iter()
+                .map(move |bench| JobSpec::sim(model, HierKind::Base, bench, 0, Scale::Test))
+        })
+        .collect();
+    assert_eq!(jobs.len(), 21);
+
+    let serial_dir = temp_dir("serial");
+    let mut serial_opts = CampaignOptions::new(Scale::Test, &serial_dir);
+    serial_opts.workers = 1;
+    let serial = run_campaign(&jobs, &serial_opts).unwrap();
+    assert_eq!(serial.failed(), 0);
+
+    let parallel_dir = temp_dir("parallel");
+    let mut parallel_opts = CampaignOptions::new(Scale::Test, &parallel_dir);
+    parallel_opts.workers = 4;
+    let parallel = run_campaign(&jobs, &parallel_opts).unwrap();
+    assert_eq!(parallel.failed(), 0);
+    assert_eq!(parallel.ok(), 21);
+
+    let serial_files = artifact_bytes(&serial_dir);
+    let parallel_files = artifact_bytes(&parallel_dir);
+    assert_eq!(serial_files.len(), 21);
+    assert_eq!(serial_files.keys().collect::<Vec<_>>(), parallel_files.keys().collect::<Vec<_>>());
+    for (name, bytes) in &serial_files {
+        assert_eq!(bytes, &parallel_files[name], "artifact {name} differs between -j1 and -j4");
+    }
+
+    std::fs::remove_dir_all(&serial_dir).unwrap();
+    std::fs::remove_dir_all(&parallel_dir).unwrap();
+}
+
+/// A campaign interrupted by failures resumes where it left off: only the
+/// jobs without artifacts execute on the second run, and a config-hash
+/// mismatch forces a re-run even when a file exists.
+#[test]
+fn checkpoint_resume_reruns_only_missing_jobs() {
+    let dir = temp_dir("resume");
+    let jobs: Vec<JobSpec> = ["gzip", "mcf", "art", "twolf", "mesa", "gap"]
+        .into_iter()
+        .map(|bench| JobSpec::sim(ModelKind::InOrder, HierKind::Base, bench, 0, Scale::Test))
+        .collect();
+
+    // First run: every mcf/art job fails all its attempts ("killed after
+    // K jobs").
+    let mut opts = CampaignOptions::new(Scale::Test, &dir);
+    opts.workers = 2;
+    opts.inject = Some(FailureInjection { id_substring: "mcf".into(), times: u32::MAX });
+    let first = run_campaign(&jobs, &opts).unwrap();
+    assert_eq!(first.failed(), 1);
+    assert_eq!(first.ok(), 5);
+    let failed_ids: Vec<String> = first.failures().iter().map(|o| o.spec.id()).collect();
+    assert_eq!(failed_ids, vec!["mcf/inorder/base/s0@test".to_string()]);
+    assert_eq!(artifact_bytes(&dir).len(), 5, "failed job must leave no artifact");
+
+    // Second run, no injection: completed artifacts are reused, only the
+    // failed job executes.
+    opts.inject = None;
+    let second = run_campaign(&jobs, &opts).unwrap();
+    assert_eq!(second.failed(), 0);
+    assert_eq!(second.cached(), 5);
+    assert_eq!(second.ok(), 1);
+    let executed: Vec<String> =
+        second.outcomes.iter().filter(|o| o.status == JobStatus::Ok).map(|o| o.spec.id()).collect();
+    assert_eq!(executed, vec!["mcf/inorder/base/s0@test".to_string()]);
+
+    // Corrupt one artifact's recorded config hash: resume must detect the
+    // mismatch and recompute that job.
+    let victim = jobs[0].clone();
+    let path = dir.join(victim.artifact_filename());
+    let text = std::fs::read_to_string(&path).unwrap();
+    let hash = format!("{:016x}", victim.config_hash());
+    std::fs::write(&path, text.replace(&hash, "0000000000000000")).unwrap();
+    let third = run_campaign(&jobs, &opts).unwrap();
+    assert_eq!(third.cached(), 5);
+    assert_eq!(third.ok(), 1);
+    assert_eq!(third.outcomes[0].status, JobStatus::Ok, "hash mismatch must force a re-run");
+    // And the recomputed artifact carries the correct hash again.
+    assert!(std::fs::read_to_string(&path).unwrap().contains(&hash));
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Retries: a job that fails its first attempts succeeds once the
+/// injection budget is exhausted, and the manifest-visible attempt count
+/// reflects the retries.
+#[test]
+fn retries_recover_transient_failures() {
+    let dir = temp_dir("retry");
+    let jobs = vec![JobSpec::sim(ModelKind::InOrder, HierKind::Base, "vortex", 0, Scale::Test)];
+    let mut opts = CampaignOptions::new(Scale::Test, &dir);
+    opts.workers = 1;
+    opts.attempts = 3;
+    opts.inject = Some(FailureInjection { id_substring: "vortex".into(), times: 2 });
+    let report = run_campaign(&jobs, &opts).unwrap();
+    assert_eq!(report.failed(), 0);
+    assert_eq!(report.outcomes[0].attempts, 3);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// The watchdog: a tiny cycle budget aborts every simulation as a
+/// `timeout` failure instead of hanging or panicking the campaign.
+#[test]
+fn watchdog_times_out_runaway_jobs() {
+    let dir = temp_dir("watchdog");
+    let jobs = vec![
+        JobSpec::sim(ModelKind::Multipass, HierKind::Base, "mcf", 0, Scale::Test),
+        JobSpec::sim(ModelKind::InOrder, HierKind::Base, "gzip", 0, Scale::Test),
+    ];
+    let mut opts = CampaignOptions::new(Scale::Test, &dir);
+    opts.workers = 2;
+    opts.cycle_budget = Some(10);
+    let report = run_campaign(&jobs, &opts).unwrap();
+    assert_eq!(report.failed(), 2);
+    for outcome in report.failures() {
+        let err = outcome.error.as_deref().unwrap();
+        assert!(err.starts_with("timeout:"), "{err}");
+        assert!(err.contains("cycle budget exceeded"), "{err}");
+    }
+    assert!(artifact_bytes(&dir).is_empty());
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// The full plan is well formed at both scales (no duplicate content
+/// addresses; scales never collide in one directory).
+#[test]
+fn full_grid_hashes_are_unique_across_scales() {
+    let mut hashes = std::collections::BTreeSet::new();
+    for scale in [Scale::Test, Scale::Paper] {
+        for job in full_grid(scale) {
+            assert!(hashes.insert(job.config_hash()), "duplicate hash for {}", job.id());
+        }
+    }
+}

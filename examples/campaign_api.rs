@@ -1,0 +1,49 @@
+//! Drive a small campaign through the `ff-harness` API: run a filtered
+//! job set on a worker pool, checkpoint the artifacts, then re-render a
+//! figure from the checkpoint without re-simulating.
+//!
+//! ```sh
+//! cargo run --release --example campaign_api
+//! ```
+
+use flea_flicker::experiments::{figure6, HierKind, ModelKind};
+use flea_flicker::harness::{
+    run_campaign, write_manifest, ArtifactStore, CampaignOptions, JobSpec,
+};
+use flea_flicker::prelude::*;
+
+fn main() {
+    let dir = std::env::temp_dir().join("ff-campaign-example");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Figure 6 needs base/MP/OOO on the base hierarchy; plan exactly that.
+    let mut jobs = Vec::new();
+    for model in [ModelKind::InOrder, ModelKind::Multipass, ModelKind::Ooo] {
+        for bench in Workload::NAMES {
+            jobs.push(JobSpec::sim(model, HierKind::Base, bench, 0, Scale::Test));
+        }
+    }
+
+    let mut opts = CampaignOptions::new(Scale::Test, &dir);
+    opts.workers = 4;
+    opts.progress = false;
+    let report = run_campaign(&jobs, &opts).expect("artifact dir is writable");
+    write_manifest(&dir, &report).expect("manifest written");
+    println!(
+        "campaign: {} ok, {} cached, {} failed in {:.2}s on {} workers",
+        report.ok(),
+        report.cached(),
+        report.failed(),
+        report.wall_s,
+        report.workers
+    );
+
+    // Render Figure 6 purely from the checkpointed artifacts. A second
+    // campaign over the same plan would report every job as cached.
+    let mut store = ArtifactStore::new(&dir, Scale::Test);
+    let f = figure6(&mut store);
+    println!("\n{}", flea_flicker::experiments::render::figure6(&f));
+
+    let rerun = run_campaign(&jobs, &opts).expect("artifact dir is writable");
+    println!("re-run: {} cached of {} jobs", rerun.cached(), jobs.len());
+}

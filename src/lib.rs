@@ -13,6 +13,8 @@
 //! * [`multipass`] — the paper's contribution: multipass pipelining
 //! * [`power`] — Wattch-like power models (Table 1)
 //! * [`experiments`] — table/figure reproduction harness
+//! * [`harness`] — parallel campaign runner (`ff-campaign`) with
+//!   checkpoint/resume, watchdogs, and run manifests
 //! * [`debug`] — first-divergence triage against the golden interpreter
 
 #![forbid(unsafe_code)]
@@ -44,6 +46,7 @@ pub use ff_debug as debug;
 pub use ff_engine as engine;
 pub use ff_experiments as experiments;
 pub use ff_frontend as frontend;
+pub use ff_harness as harness;
 pub use ff_isa as isa;
 pub use ff_mem as mem;
 pub use ff_multipass as multipass;
