@@ -235,7 +235,7 @@ impl ExecutionModel for InOrder {
 
         stats.cycles = now;
         activity.cycles = now;
-        Ok(RunResult { stats, activity, mem_stats: *mem.stats(), final_state: state })
+        Ok(RunResult { stats, activity, mem_stats: mem.final_stats(), final_state: state })
     }
 }
 

@@ -375,7 +375,7 @@ impl ExecutionModel for OutOfOrder {
         Ok(RunResult {
             stats,
             activity,
-            mem_stats: *mem.stats(),
+            mem_stats: mem.final_stats(),
             final_state: trace.final_state().clone(),
         })
     }

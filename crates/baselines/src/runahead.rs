@@ -461,7 +461,7 @@ impl ExecutionModel for Runahead {
 
         stats.cycles = now;
         activity.cycles = now;
-        Ok(RunResult { stats, activity, mem_stats: *mem.stats(), final_state: state })
+        Ok(RunResult { stats, activity, mem_stats: mem.final_stats(), final_state: state })
     }
 }
 

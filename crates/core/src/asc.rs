@@ -115,6 +115,22 @@ impl AdvanceStoreCache {
         self.replaced.fill(false);
     }
 
+    /// Live entries across all sets.
+    pub fn live_entries(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+
+    /// Total capacity in entries.
+    pub fn capacity(&self) -> usize {
+        self.sets.len() * self.assoc
+    }
+
+    /// Whether every set holds at most `assoc` entries — the structural
+    /// capacity invariant audited by the ASC sentinel.
+    pub fn assoc_ok(&self) -> bool {
+        self.sets.iter().all(|s| s.len() <= self.assoc)
+    }
+
     /// Total inserts over the run.
     pub fn inserts(&self) -> u64 {
         self.inserts

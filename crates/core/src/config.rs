@@ -53,6 +53,23 @@ pub struct MultipassConfig {
     /// by `rs_reuses`) XORs the merged value with 1, silently corrupting
     /// architectural state. `None` (the default) disables the fault.
     pub fault_corrupt_rs_merge: Option<u64>,
+    /// Fault-injection hook (`ff-sentinel`): the `N`-th architectural load
+    /// wakeup (0-based) is dropped — its destination register is marked
+    /// pending essentially forever, wedging every consumer. Models a lost
+    /// fill notification.
+    pub fault_drop_wakeup: Option<u64>,
+    /// Fault-injection hook (`ff-sentinel`): the `N`-th data read's
+    /// completion cycle is warped far past any legal hierarchy latency
+    /// (see `ff_mem::MemorySystem::inject_warp_latency`).
+    pub fault_warp_cache_latency: Option<u64>,
+    /// Fault-injection hook (`ff-sentinel`): the `N`-th MSHR allocation is
+    /// never deallocated (see `ff_mem::MshrFile::inject_lost_dealloc`).
+    pub fault_lose_mshr_dealloc: Option<u64>,
+    /// Fault-injection hook (`ff-sentinel`): the `N`-th advance-store-cache
+    /// forward whose data-speculation (S) bit should be set forwards the
+    /// value *without* it — reintroducing the stale-forwarding bug class
+    /// where rally merges an unverified value.
+    pub fault_stale_asc_forward: Option<u64>,
 }
 
 impl MultipassConfig {
@@ -68,6 +85,10 @@ impl MultipassConfig {
             restart: RestartStrategy::Compiler,
             waw_skip_srf: true,
             fault_corrupt_rs_merge: None,
+            fault_drop_wakeup: None,
+            fault_warp_cache_latency: None,
+            fault_lose_mshr_dealloc: None,
+            fault_stale_asc_forward: None,
         }
     }
 

@@ -21,9 +21,10 @@
 use std::collections::BTreeMap;
 
 use ff_engine::{
-    operand_stall, Activity, EpisodeWindow, ExecutionModel, FuPool, MachineConfig, NullRetireHook,
-    PendingKind, RetireEvent, RetireHook, RetireMode, RunError, RunResult, RunStats, Scoreboard,
-    SimCase, StallKind,
+    operand_stall, Activity, AscForwardObs, CycleObs, EpisodeWindow, ExecutionModel, FuPool,
+    MachineConfig, MemAccessObs, NullProbe, NullRetireHook, PendingKind, PipelineProbe,
+    RetireEvent, RetireHook, RetireMode, RunError, RunResult, RunStats, Scoreboard, SimCase,
+    StallKind,
 };
 use ff_frontend::{FetchUnit, Gshare};
 use ff_isa::eval::{alu, effective_address};
@@ -133,19 +134,40 @@ struct Core<'a> {
     /// the unhooked path never constructs events.
     hook: &'a mut dyn RetireHook,
     hook_enabled: bool,
+    /// Pipeline-observation probe (invariant checking); `probe_enabled` is
+    /// hoisted identically so unprobed runs never build observations.
+    probe: &'a mut dyn PipelineProbe,
+    probe_enabled: bool,
+    /// Architectural load wakeups scheduled so far (fault-injection index).
+    load_pends: u64,
+    /// ASC forwards with the S bit set so far (fault-injection index).
+    speculative_forwards: u64,
     now: u64,
     halted: bool,
 }
 
 impl<'a> Core<'a> {
-    fn new(config: MultipassConfig, case: &SimCase<'a>, hook: &'a mut dyn RetireHook) -> Self {
+    fn new(
+        config: MultipassConfig,
+        case: &SimCase<'a>,
+        hook: &'a mut dyn RetireHook,
+        probe: &'a mut dyn PipelineProbe,
+    ) -> Self {
         let hook_enabled = hook.enabled();
+        let probe_enabled = probe.enabled();
         let machine = config.machine;
+        let mut mem = MemorySystem::new(machine.hierarchy);
+        if let Some(n) = config.fault_warp_cache_latency {
+            mem.inject_warp_latency(n);
+        }
+        if let Some(n) = config.fault_lose_mshr_dealloc {
+            mem.inject_lost_mshr_dealloc(n);
+        }
         Core {
             cfg: config,
             program: case.program,
             state: case.initial_state(),
-            mem: MemorySystem::new(machine.hierarchy),
+            mem,
             fetch: FetchUnit::new(
                 case.program,
                 machine.multipass_iq,
@@ -173,6 +195,10 @@ impl<'a> Core<'a> {
             mode_trace: None,
             hook,
             hook_enabled,
+            probe,
+            probe_enabled,
+            load_pends: 0,
+            speculative_forwards: 0,
             now: 0,
             halted: false,
         }
@@ -186,6 +212,50 @@ impl<'a> Core<'a> {
     }
 
     // ---------------------------------------------------------------- util
+
+    /// Schedules an architectural load wakeup, routing through the
+    /// dropped-wakeup fault: the faulted wakeup lands in the unreachable
+    /// future, wedging every consumer of `d`.
+    fn pend_load(&mut self, d: Reg, complete_at: u64) {
+        let mut at = complete_at;
+        if let Some(n) = self.cfg.fault_drop_wakeup {
+            if self.load_pends == n {
+                at = u64::MAX / 2;
+            }
+            self.load_pends += 1;
+        }
+        self.sb.set_pending(d, at, PendingKind::Load);
+    }
+
+    /// Publishes a completed data access to the probe.
+    fn probe_mem_access(&mut self, complete_at: u64, level: ff_mem::HitLevel) {
+        if self.probe_enabled {
+            self.probe.on_mem_access(&MemAccessObs { cycle: self.now, complete_at, level });
+        }
+    }
+
+    /// Publishes the top-of-cycle pipeline snapshot to the probe.
+    fn probe_cycle(&mut self) {
+        if !self.probe_enabled {
+            return;
+        }
+        let obs = CycleObs {
+            cycle: self.now,
+            mode: self.retire_mode(),
+            trigger: self.trigger,
+            peek: self.peek,
+            peek_high: self.peek_high,
+            deq: self.fetch.head_seq(),
+            srf_abits: self.srf.abit_count(),
+            asc_live: self.asc.live_entries(),
+            asc_capacity: self.asc.capacity(),
+            asc_assoc_ok: self.asc.assoc_ok(),
+            smaq_live: self.smaq_count,
+            smaq_capacity: self.cfg.smaq_entries,
+            sb_drain: self.sb.drain_cycle(),
+        };
+        self.probe.on_cycle(&obs);
+    }
 
     fn entry(&self, seq: u64) -> MpEntry {
         self.entries.get(&seq).copied().unwrap_or_default()
@@ -367,7 +437,10 @@ impl<'a> Core<'a> {
                             let cur = self.state.mem.load(addr);
                             let complete_at =
                                 match self.mem.access(addr, AccessKind::DataRead, self.now) {
-                                    MemAccess::Done { complete_at, .. } => complete_at,
+                                    MemAccess::Done { complete_at, level } => {
+                                        self.probe_mem_access(complete_at, level);
+                                        complete_at
+                                    }
                                     MemAccess::Retry => {
                                         stall = Some(StallKind::Other);
                                         break;
@@ -386,7 +459,7 @@ impl<'a> Core<'a> {
                             }
                             if let Some(d) = inst.writes() {
                                 self.state.write(d, cur);
-                                self.sb.set_pending(d, complete_at, PendingKind::Load);
+                                self.pend_load(d, complete_at);
                                 self.activity.regfile_writes += 1;
                                 wrote = Some((d, cur));
                             }
@@ -417,7 +490,13 @@ impl<'a> Core<'a> {
                         stored = Some((addr, data));
                     }
                 }
-                if self.hook_enabled {
+                if self.probe_enabled {
+                    self.probe.on_issue(seq, self.now);
+                    if let Some((r, _)) = wrote {
+                        self.probe.on_writeback(seq, r, self.now);
+                    }
+                }
+                if self.hook_enabled || self.probe_enabled {
                     let event = RetireEvent {
                         seq,
                         cycle: self.now,
@@ -430,7 +509,12 @@ impl<'a> Core<'a> {
                         merged: true,
                         episode: self.episode_window(seq),
                     };
-                    self.hook.on_retire(&event);
+                    if self.hook_enabled {
+                        self.hook.on_retire(&event);
+                    }
+                    if self.probe_enabled {
+                        self.probe.on_retire(&event);
+                    }
                 }
                 self.stats.rs_reuses += 1;
                 self.fetch.pop_front();
@@ -484,11 +568,12 @@ impl<'a> Core<'a> {
                             let base = self.state.read(inst.src_n(0).expect("load base"));
                             let addr = effective_address(base, inst.imm_val());
                             match self.mem.access(addr, AccessKind::DataRead, self.now) {
-                                MemAccess::Done { complete_at, .. } => {
+                                MemAccess::Done { complete_at, level } => {
+                                    self.probe_mem_access(complete_at, level);
                                     let v = self.state.mem.load(addr);
                                     if let Some(d) = inst.writes() {
                                         self.state.write(d, v);
-                                        self.sb.set_pending(d, complete_at, PendingKind::Load);
+                                        self.pend_load(d, complete_at);
                                         self.activity.regfile_writes += 1;
                                     }
                                     self.stats.executions += 1;
@@ -546,7 +631,15 @@ impl<'a> Core<'a> {
                     }
                 }
 
-                if self.hook_enabled {
+                if self.probe_enabled {
+                    self.probe.on_issue(seq, self.now);
+                    if qp_true {
+                        if let Some(d) = inst.writes() {
+                            self.probe.on_writeback(seq, d, self.now);
+                        }
+                    }
+                }
+                if self.hook_enabled || self.probe_enabled {
                     let event = RetireEvent {
                         seq,
                         cycle: self.now,
@@ -563,7 +656,12 @@ impl<'a> Core<'a> {
                         merged: false,
                         episode: self.episode_window(seq),
                     };
-                    self.hook.on_retire(&event);
+                    if self.hook_enabled {
+                        self.hook.on_retire(&event);
+                    }
+                    if self.probe_enabled {
+                        self.probe.on_retire(&event);
+                    }
                 }
                 self.fetch.pop_front();
                 self.drop_entry(seq);
@@ -844,7 +942,26 @@ impl<'a> Core<'a> {
                                 // address) *younger* than it may alias this
                                 // word, making the forwarded value data
                                 // speculative (§3.6).
-                                let s_bit = self.deferred_store.is_some_and(|d| d > store_seq);
+                                let mut s_bit = self.deferred_store.is_some_and(|d| d > store_seq);
+                                if s_bit {
+                                    if self.cfg.fault_stale_asc_forward
+                                        == Some(self.speculative_forwards)
+                                    {
+                                        // Injected stale forward: the value
+                                        // skips rally's value-wise verify.
+                                        s_bit = false;
+                                    }
+                                    self.speculative_forwards += 1;
+                                }
+                                if self.probe_enabled {
+                                    self.probe.on_asc_forward(&AscForwardObs {
+                                        cycle: self.now,
+                                        load_seq: seq,
+                                        store_seq,
+                                        deferred_store: self.deferred_store,
+                                        s_bit,
+                                    });
+                                }
                                 let taint = base.1 | qp_taint | tainted | s_bit;
                                 if let Some(d) = inst.writes() {
                                     self.srf.write(
@@ -879,6 +996,7 @@ impl<'a> Core<'a> {
                                 let v = self.state.mem.load(addr);
                                 match self.mem.access(addr, AccessKind::SpeculativeRead, self.now) {
                                     MemAccess::Done { complete_at, level } => {
+                                        self.probe_mem_access(complete_at, level);
                                         executions += 1;
                                         self.stats.executions += 1;
                                         self.mark_slot_work();
@@ -1070,7 +1188,15 @@ impl<'a> Core<'a> {
                 });
             }
             assert!(self.stats.retired < case.max_insts, "instruction budget exceeded");
-            self.fetch.tick(self.program, &mut self.mem, self.now);
+            if self.probe_enabled {
+                let before = self.fetch.next_seq();
+                self.fetch.tick(self.program, &mut self.mem, self.now);
+                for s in before..self.fetch.next_seq() {
+                    self.probe.on_fetch(s, self.now);
+                }
+            } else {
+                self.fetch.tick(self.program, &mut self.mem, self.now);
+            }
             self.fu.new_cycle(self.now);
 
             // Advance → rally as soon as the trigger's operand arrives.
@@ -1082,6 +1208,8 @@ impl<'a> Core<'a> {
             if self.mode == Mode::Rally && self.fetch.head_seq() >= self.peek_high {
                 self.set_mode(Mode::Architectural);
             }
+
+            self.probe_cycle();
 
             if self.now < self.stall_until {
                 // Value-misspeculation flush penalty.
@@ -1135,7 +1263,7 @@ impl<'a> Core<'a> {
         Ok(RunResult {
             stats: self.stats.clone(),
             activity: self.activity,
-            mem_stats: *self.mem.stats(),
+            mem_stats: self.mem.final_stats(),
             final_state: self.state.clone(),
         })
     }
@@ -1167,7 +1295,22 @@ impl ExecutionModel for Multipass {
         case: &SimCase<'_>,
         hook: &mut dyn RetireHook,
     ) -> Result<RunResult, RunError> {
-        Core::new(self.config, case, hook).run(case)
+        let mut probe = NullProbe;
+        Core::new(self.config, case, hook, &mut probe).run(case)
+    }
+
+    fn try_run_probed(
+        &mut self,
+        case: &SimCase<'_>,
+        hook: &mut dyn RetireHook,
+        probe: &mut dyn PipelineProbe,
+    ) -> Result<RunResult, RunError> {
+        // Unlike the default tee, the multipass core publishes the deep
+        // per-cycle observations itself; retirements reach both the hook
+        // and the probe directly.
+        let result = Core::new(self.config, case, hook, probe).run(case)?;
+        probe.on_run_end(&result);
+        Ok(result)
     }
 }
 
@@ -1177,7 +1320,8 @@ impl Multipass {
     /// architectural → advance → rally choreography of Figure 4.
     pub fn run_traced(&mut self, case: &SimCase<'_>) -> (RunResult, Vec<(u64, Mode)>) {
         let mut null = NullRetireHook;
-        let mut core = Core::new(self.config, case, &mut null);
+        let mut null_probe = NullProbe;
+        let mut core = Core::new(self.config, case, &mut null, &mut null_probe);
         core.mode_trace = Some(Vec::new());
         let result = core.run(case).unwrap_or_else(|e| panic!("{e} — runaway program?"));
         (result, core.mode_trace.take().unwrap_or_default())

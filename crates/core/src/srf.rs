@@ -90,6 +90,12 @@ impl Srf {
         self.slots.fill(None);
     }
 
+    /// Number of slots with their A-bit set. Outside advance mode this must
+    /// be zero ("all A-bits are cleared") — audited by the SRF sentinel.
+    pub fn abit_count(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
     /// Total SRF writes (activity for the power model).
     pub fn write_count(&self) -> u64 {
         self.writes

@@ -28,6 +28,7 @@ pub mod activity;
 pub mod config;
 pub mod fu;
 pub mod model;
+pub mod probe;
 pub mod retire;
 pub mod scoreboard;
 pub mod stats;
@@ -37,6 +38,7 @@ pub use activity::Activity;
 pub use config::MachineConfig;
 pub use fu::FuPool;
 pub use model::{ExecutionModel, RunError, RunResult, SimCase};
+pub use probe::{AscForwardObs, CycleObs, MemAccessObs, NullProbe, PipelineProbe, RetireTee};
 pub use retire::{EpisodeWindow, NullRetireHook, RetireEvent, RetireHook, RetireMode, RetireRing};
 pub use scoreboard::{operand_stall, PendingKind, Scoreboard};
 pub use stats::{RunStats, StallKind};

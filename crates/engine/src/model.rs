@@ -6,6 +6,7 @@ use ff_isa::{ArchState, MemoryImage, Program};
 use ff_mem::MemStats;
 
 use crate::activity::Activity;
+use crate::probe::{PipelineProbe, RetireTee};
 use crate::retire::{NullRetireHook, RetireHook};
 use crate::stats::RunStats;
 
@@ -140,6 +141,34 @@ pub trait ExecutionModel: Send {
             Ok(r) => r,
             Err(e) => panic!("{e} — runaway program?"),
         }
+    }
+
+    /// Simulates `case` while publishing pipeline observations to `probe`
+    /// (see [`PipelineProbe`]) in addition to reporting retirements to
+    /// `hook`. Probes are strictly read-only: a probed run produces a
+    /// [`RunResult`] identical to an unprobed one.
+    ///
+    /// The default implementation tees retirements into the probe and
+    /// publishes the end-of-run result; models with deeper instrumentation
+    /// (the multipass pipeline) override it to also publish per-cycle,
+    /// memory-completion, and store-forwarding observations.
+    ///
+    /// # Errors
+    ///
+    /// See [`ExecutionModel::try_run_hooked`]. On error the probe receives
+    /// no end-of-run observation.
+    fn try_run_probed(
+        &mut self,
+        case: &SimCase<'_>,
+        hook: &mut dyn RetireHook,
+        probe: &mut dyn PipelineProbe,
+    ) -> Result<RunResult, RunError> {
+        let result = {
+            let mut tee = RetireTee::new(hook, probe);
+            self.try_run_hooked(case, &mut tee)?
+        };
+        probe.on_run_end(&result);
+        Ok(result)
     }
 
     /// Fallible variant of [`ExecutionModel::run`]: simulates `case` and

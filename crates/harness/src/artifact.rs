@@ -74,6 +74,9 @@ fn mem_json(m: &MemStats) -> Json {
         ("l1i_misses", Json::U64(m.l1i_misses)),
         ("mshr_retries", Json::U64(m.mshr_retries)),
         ("speculative_reads", Json::U64(m.speculative_reads)),
+        ("mshr_allocations", Json::U64(m.mshr_allocations)),
+        ("mshr_releases", Json::U64(m.mshr_releases)),
+        ("mshr_leaked", Json::U64(m.mshr_leaked)),
     ])
 }
 
@@ -205,6 +208,9 @@ pub fn parse_sim_artifact(spec: &JobSpec, text: &str) -> Result<RunResult, Strin
             l1i_misses: u64_field(m, "l1i_misses")?,
             mshr_retries: u64_field(m, "mshr_retries")?,
             speculative_reads: u64_field(m, "speculative_reads")?,
+            mshr_allocations: u64_field(m, "mshr_allocations")?,
+            mshr_releases: u64_field(m, "mshr_releases")?,
+            mshr_leaked: u64_field(m, "mshr_leaked")?,
         },
         final_state: ArchState::new(),
     })

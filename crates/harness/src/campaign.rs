@@ -1,5 +1,8 @@
 //! Campaign execution: plan expansion, checkpointed parallel running,
-//! retries, and the per-job watchdog.
+//! retries, the per-job watchdog, and graceful degradation — panics are
+//! isolated at the job boundary, failures are classified into the
+//! [`JobError`] taxonomy, repeat offenders are quarantined, and every
+//! terminal failure leaves a replayable [`CrashBundle`].
 
 use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -7,13 +10,17 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
+use ff_engine::RetireRing;
 use ff_experiments::{reports, HierKind, ModelKind, Suite};
 use ff_workloads::{Scale, Workload};
 
 use crate::artifact::{render_report_artifact, render_sim_artifact, verify_header};
+use crate::bundle::{CrashBundle, BUNDLE_RETIREMENTS};
+use crate::error::{JobError, JobErrorKind};
 use crate::job::{JobKind, JobSpec, REPORT_NAMES};
 use crate::json::Json;
 use crate::pool::run_jobs;
+use crate::quarantine::Quarantine;
 
 /// Extra seeds (beyond the canonical seed 0) the full campaign runs for
 /// the seed-sensitivity study, on the models it compares.
@@ -32,6 +39,9 @@ pub enum JobStatus {
     Cached,
     /// All attempts failed; no artifact written.
     Failed,
+    /// Skipped without running: the quarantine ledger shows this job
+    /// failing in `--quarantine-after` consecutive prior runs.
+    Quarantined,
 }
 
 impl JobStatus {
@@ -41,6 +51,7 @@ impl JobStatus {
             JobStatus::Ok => "ok",
             JobStatus::Cached => "cached",
             JobStatus::Failed => "failed",
+            JobStatus::Quarantined => "quarantined",
         }
     }
 }
@@ -52,11 +63,11 @@ pub struct JobOutcome {
     pub spec: JobSpec,
     /// How it ended.
     pub status: JobStatus,
-    /// The last error, for failed jobs.
-    pub error: Option<String>,
+    /// The last classified error, for failed or quarantined jobs.
+    pub error: Option<JobError>,
     /// Wall time spent executing (0 for cached jobs).
     pub wall_ms: u64,
-    /// Attempts made (0 for cached jobs).
+    /// Attempts made (0 for cached or quarantined jobs).
     pub attempts: u32,
 }
 
@@ -89,20 +100,34 @@ impl CampaignReport {
         self.outcomes.iter().filter(|o| o.status == JobStatus::Failed).count()
     }
 
+    /// Jobs skipped by the quarantine ledger.
+    pub fn quarantined(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.status == JobStatus::Quarantined).count()
+    }
+
     /// The failed outcomes.
     pub fn failures(&self) -> Vec<&JobOutcome> {
         self.outcomes.iter().filter(|o| o.status == JobStatus::Failed).collect()
     }
+
+    /// The quarantined outcomes.
+    pub fn quarantined_jobs(&self) -> Vec<&JobOutcome> {
+        self.outcomes.iter().filter(|o| o.status == JobStatus::Quarantined).collect()
+    }
 }
 
-/// Deterministic fault injection for the checkpoint/resume tests: every
-/// job whose id contains `id_substring` fails its first `times` attempts.
+/// Deterministic fault injection for the checkpoint/resume and
+/// panic-isolation tests: every job whose id contains `id_substring`
+/// fails its first `times` attempts, by error return or by panic.
 #[derive(Clone, Debug, Default)]
 pub struct FailureInjection {
     /// Substring of [`JobSpec::id`] selecting the victim jobs.
     pub id_substring: String,
     /// Attempts to fail before succeeding.
     pub times: u32,
+    /// Fail by panicking inside the compute closure instead of returning
+    /// an error, to exercise the panic-isolation path.
+    pub panic: bool,
 }
 
 /// Options for one campaign run.
@@ -119,10 +144,17 @@ pub struct CampaignOptions {
     pub cycle_budget: Option<u64>,
     /// Artifact directory.
     pub out_dir: PathBuf,
-    /// Re-run jobs even when a valid artifact exists.
+    /// Re-run jobs even when a valid artifact exists; also bypasses the
+    /// quarantine ledger so a fixed config gets its retrial.
     pub force: bool,
     /// Emit live progress/ETA lines on stderr.
     pub progress: bool,
+    /// Run every simulation under the full `ff-sentinel` invariant
+    /// checker set; a violation fails the job as `invariant-violation`.
+    pub sentinels: bool,
+    /// Skip jobs that failed this many consecutive prior runs
+    /// (`--quarantine-after N`). `None` disables the ledger entirely.
+    pub quarantine_after: Option<u32>,
     /// Test-only fault injection.
     pub inject: Option<FailureInjection>,
 }
@@ -138,6 +170,8 @@ impl CampaignOptions {
             out_dir: out_dir.into(),
             force: false,
             progress: false,
+            sentinels: false,
+            quarantine_after: None,
             inject: None,
         }
     }
@@ -217,11 +251,26 @@ struct WorkerState {
     workloads: BTreeMap<(&'static str, u64), Workload>,
 }
 
+/// What one attempt leaves behind for the crash-bundle writer: the
+/// trailing retirements and any sentinel violations. Reset per attempt so
+/// a bundle only ever describes the final, failing attempt.
+struct AttemptDebris {
+    ring: RetireRing,
+    violations: Vec<String>,
+}
+
+impl AttemptDebris {
+    fn new() -> Self {
+        AttemptDebris { ring: RetireRing::new(BUNDLE_RETIREMENTS), violations: Vec::new() }
+    }
+}
+
 fn compute_artifact(
     state: &mut WorkerState,
     spec: &JobSpec,
-    cycle_budget: Option<u64>,
-) -> Result<String, String> {
+    opts: &CampaignOptions,
+    debris: &mut AttemptDebris,
+) -> Result<String, JobError> {
     match &spec.kind {
         JobKind::Sim { model, hier, bench, seed } => {
             let scale = spec.scale;
@@ -229,19 +278,37 @@ fn compute_artifact(
                 Workload::by_name_seeded(bench, scale, *seed).expect("plan uses known benchmarks")
             });
             let mut case = ff_engine::SimCase::new(&w.program, w.mem.clone());
-            if let Some(budget) = cycle_budget {
+            if let Some(budget) = opts.cycle_budget {
                 case = case.with_cycle_budget(budget);
             }
-            match Suite::execute_case(*model, *hier, &case) {
+            let outcome = if opts.sentinels {
+                let mut m = Suite::build_model(*model, *hier);
+                let report = ff_sentinel::check_model_hooked(m.as_mut(), &case, &mut debris.ring);
+                if !report.violations.is_empty() {
+                    debris.violations = report.violations.iter().map(|v| v.to_string()).collect();
+                    let first = &report.violations[0];
+                    let extra = report.violations.len() - 1;
+                    let msg = if extra == 0 {
+                        first.to_string()
+                    } else {
+                        format!("{first} (+{extra} more)")
+                    };
+                    return Err(JobError::invariant(msg));
+                }
+                report.outcome
+            } else {
+                Suite::execute_case_hooked(*model, *hier, &case, &mut debris.ring)
+            };
+            match outcome {
                 Ok(result) => Ok(render_sim_artifact(spec, &result)),
-                Err(e) => Err(format!("timeout: {e}")),
+                Err(e) => Err(JobError::timeout(e.to_string())),
             }
         }
         JobKind::Report { name } => {
             let text = match *name {
                 "ablation_structures" => reports::ablation_structures(spec.scale),
                 "unroll_effect" => reports::unroll_effect(),
-                other => return Err(format!("unknown report job `{other}`")),
+                other => return Err(JobError::other(format!("unknown report job `{other}`"))),
             };
             Ok(render_report_artifact(spec, &text))
         }
@@ -267,33 +334,38 @@ fn run_one(opts: &CampaignOptions, state: &mut WorkerState, spec: &JobSpec) -> J
         };
     }
     let started = Instant::now();
-    let mut last_err = String::from("no attempts made");
+    let mut last_err = JobError::other("no attempts made");
     let mut attempts = 0;
+    let mut debris = AttemptDebris::new();
     while attempts < opts.attempts.max(1) {
         attempts += 1;
-        let injected = opts
-            .inject
-            .as_ref()
-            .is_some_and(|f| spec.id().contains(&f.id_substring) && attempts <= f.times);
-        if injected {
-            last_err = format!("injected failure (attempt {attempts})");
-            continue;
-        }
-        let result =
-            catch_unwind(AssertUnwindSafe(|| compute_artifact(state, spec, opts.cycle_budget)))
-                .unwrap_or_else(|payload| {
-                    let msg = payload
-                        .downcast_ref::<&str>()
-                        .map(|s| s.to_string())
-                        .or_else(|| payload.downcast_ref::<String>().cloned())
-                        .unwrap_or_else(|| "panic with non-string payload".to_string());
-                    Err(format!("panicked: {msg}"))
-                });
+        debris = AttemptDebris::new();
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            // The injection lives inside the unwind boundary so injected
+            // panics exercise the same isolation path as real ones.
+            if let Some(f) = &opts.inject {
+                if spec.id().contains(&f.id_substring) && attempts <= f.times {
+                    if f.panic {
+                        panic!("injected panic (attempt {attempts})");
+                    }
+                    return Err(JobError::other(format!("injected failure (attempt {attempts})")));
+                }
+            }
+            compute_artifact(state, spec, opts, &mut debris)
+        }))
+        .unwrap_or_else(|payload| {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "panic with non-string payload".to_string());
+            Err(JobError::panic(msg))
+        });
         match result {
             Ok(artifact) => {
                 let path = opts.out_dir.join(spec.artifact_filename());
                 if let Err(e) = std::fs::write(&path, &artifact) {
-                    last_err = format!("write {}: {e}", path.display());
+                    last_err = JobError::other(format!("write {}: {e}", path.display()));
                     continue;
                 }
                 return JobOutcome {
@@ -305,6 +377,22 @@ fn run_one(opts: &CampaignOptions, state: &mut WorkerState, spec: &JobSpec) -> J
                 };
             }
             Err(e) => last_err = e,
+        }
+    }
+    // Terminal failure: leave a replayable crash bundle for any cause the
+    // simulation itself produced (a transient injected `Other` from the
+    // resume tests has nothing worth replaying).
+    if last_err.kind != JobErrorKind::Other {
+        if let Some(bundle) = CrashBundle::for_failure(
+            spec,
+            opts.cycle_budget,
+            &last_err,
+            &debris.violations,
+            &debris.ring,
+        ) {
+            if let Err(e) = bundle.write(&opts.out_dir) {
+                eprintln!("warning: could not write crash bundle for {}: {e}", spec.id());
+            }
         }
     }
     JobOutcome {
@@ -324,9 +412,10 @@ fn eta_secs(done: usize, total: usize, elapsed_s: f64) -> f64 {
     }
 }
 
-/// Runs `jobs` under `opts`: checkpoint skip, retries, watchdog, live
-/// progress, artifact writes. The manifest is written separately by
-/// [`crate::manifest::write_manifest`] so callers can stamp run metadata.
+/// Runs `jobs` under `opts`: checkpoint skip, retries, watchdog, panic
+/// isolation, quarantine, live progress, artifact writes. The manifest is
+/// written separately by [`crate::manifest::write_manifest`] so callers
+/// can stamp run metadata.
 ///
 /// # Errors
 ///
@@ -337,12 +426,36 @@ pub fn run_campaign(jobs: &[JobSpec], opts: &CampaignOptions) -> std::io::Result
     let started = Instant::now();
     let done = AtomicUsize::new(0);
     let total = jobs.len();
-    let outcomes = run_jobs(
+    // The quarantine decision is a pre-run snapshot: whether a job runs
+    // depends only on prior campaigns, never on sibling jobs racing in
+    // this one, so parallel and serial runs behave identically.
+    let ledger = opts.quarantine_after.map(|_| Quarantine::load(&opts.out_dir));
+    let blocked: Vec<bool> = jobs
+        .iter()
+        .map(|spec| match (&ledger, opts.quarantine_after) {
+            (Some(q), Some(threshold)) => !opts.force && q.blocks(&spec.id(), threshold),
+            _ => false,
+        })
+        .collect();
+    let raw = run_jobs(
         jobs,
         opts.workers,
         |_wid| WorkerState { workloads: BTreeMap::new() },
-        |state, _i, spec| {
-            let outcome = run_one(opts, state, spec);
+        |state, i, spec| {
+            let outcome = if blocked[i] {
+                let strikes = ledger.as_ref().map_or(0, |q| q.strikes(&spec.id()));
+                JobOutcome {
+                    spec: spec.clone(),
+                    status: JobStatus::Quarantined,
+                    error: Some(JobError::other(format!(
+                        "quarantined after {strikes} consecutive failed runs (--force to retry)"
+                    ))),
+                    wall_ms: 0,
+                    attempts: 0,
+                }
+            } else {
+                run_one(opts, state, spec)
+            };
             let n = done.fetch_add(1, Ordering::Relaxed) + 1;
             if opts.progress {
                 let elapsed = started.elapsed().as_secs_f64();
@@ -357,6 +470,33 @@ pub fn run_campaign(jobs: &[JobSpec], opts: &CampaignOptions) -> std::io::Result
             outcome
         },
     );
+    // A worker dying outside the per-job unwind boundary still yields a
+    // classified outcome instead of aborting the whole campaign.
+    let outcomes: Vec<JobOutcome> = raw
+        .into_iter()
+        .zip(jobs)
+        .map(|(slot, spec)| {
+            slot.unwrap_or_else(|| JobOutcome {
+                spec: spec.clone(),
+                status: JobStatus::Failed,
+                error: Some(JobError::panic("worker thread crashed outside the job boundary")),
+                wall_ms: 0,
+                attempts: 0,
+            })
+        })
+        .collect();
+    if let (Some(mut q), Some(_)) = (ledger, opts.quarantine_after) {
+        for o in &outcomes {
+            match o.status {
+                JobStatus::Failed => q.record(&o.spec.id(), true),
+                JobStatus::Ok | JobStatus::Cached => q.record(&o.spec.id(), false),
+                JobStatus::Quarantined => {}
+            }
+        }
+        if let Err(e) = q.save(&opts.out_dir) {
+            eprintln!("warning: could not save quarantine ledger: {e}");
+        }
+    }
     Ok(CampaignReport {
         outcomes,
         wall_s: started.elapsed().as_secs_f64(),

@@ -1,0 +1,116 @@
+//! The structured job-failure taxonomy.
+//!
+//! Every way a campaign job can fail collapses into one of four
+//! [`JobErrorKind`]s, so the manifest, the quarantine ledger, and CI can
+//! react to *classes* of failure (a panic is a bug, a timeout is a wedged
+//! simulation, an invariant violation is silent corruption made loud)
+//! instead of string-matching error prose.
+
+use std::fmt;
+
+/// Why a job failed, at taxonomy granularity.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JobErrorKind {
+    /// The job's compute closure panicked. The panic is caught at the job
+    /// boundary; the campaign and its other workers keep running.
+    Panic,
+    /// The simulation hit its watchdog cycle budget
+    /// ([`ff_engine::RunError::CycleBudgetExceeded`]).
+    Timeout,
+    /// A sentinel invariant checker fired during the run (`--sentinels`).
+    InvariantViolation,
+    /// Everything else: artifact I/O errors, unknown report names, and the
+    /// test-only injected failures.
+    Other,
+}
+
+impl JobErrorKind {
+    /// Stable lower-case name (the manifest's `error_kind` field).
+    pub fn name(self) -> &'static str {
+        match self {
+            JobErrorKind::Panic => "panic",
+            JobErrorKind::Timeout => "timeout",
+            JobErrorKind::InvariantViolation => "invariant-violation",
+            JobErrorKind::Other => "other",
+        }
+    }
+
+    /// Parses a kind name (manifest/bundle round-trip).
+    pub fn parse(s: &str) -> Option<JobErrorKind> {
+        [
+            JobErrorKind::Panic,
+            JobErrorKind::Timeout,
+            JobErrorKind::InvariantViolation,
+            JobErrorKind::Other,
+        ]
+        .into_iter()
+        .find(|k| k.name() == s)
+    }
+}
+
+/// One classified job failure: a [`JobErrorKind`] plus the human-readable
+/// detail. Implements [`std::error::Error`] and renders as
+/// `"<kind>: <message>"`, matching [`ff_engine::RunError`]'s convention.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JobError {
+    /// The failure class.
+    pub kind: JobErrorKind,
+    /// What went wrong, in detail.
+    pub message: String,
+}
+
+impl JobError {
+    /// A caught panic.
+    pub fn panic(message: impl Into<String>) -> Self {
+        JobError { kind: JobErrorKind::Panic, message: message.into() }
+    }
+
+    /// A watchdog timeout.
+    pub fn timeout(message: impl Into<String>) -> Self {
+        JobError { kind: JobErrorKind::Timeout, message: message.into() }
+    }
+
+    /// A sentinel invariant violation.
+    pub fn invariant(message: impl Into<String>) -> Self {
+        JobError { kind: JobErrorKind::InvariantViolation, message: message.into() }
+    }
+
+    /// An unclassified failure.
+    pub fn other(message: impl Into<String>) -> Self {
+        JobError { kind: JobErrorKind::Other, message: message.into() }
+    }
+}
+
+impl fmt::Display for JobError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.kind.name(), self.message)
+    }
+}
+
+impl std::error::Error for JobError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_names_round_trip() {
+        for kind in [
+            JobErrorKind::Panic,
+            JobErrorKind::Timeout,
+            JobErrorKind::InvariantViolation,
+            JobErrorKind::Other,
+        ] {
+            assert_eq!(JobErrorKind::parse(kind.name()), Some(kind));
+        }
+        assert_eq!(JobErrorKind::parse("no-such-kind"), None);
+    }
+
+    #[test]
+    fn display_leads_with_the_kind() {
+        let e = JobError::timeout("cycle budget exceeded: 10 cycles simulated, 0 retired");
+        assert!(e.to_string().starts_with("timeout:"), "{e}");
+        let boxed: Box<dyn std::error::Error> = Box::new(JobError::panic("boom"));
+        assert_eq!(boxed.to_string(), "panic: boom");
+    }
+}

@@ -11,6 +11,18 @@
 //!   `failed: timeout` instead of hanging the campaign
 //!   ([`ff_engine::RunError::CycleBudgetExceeded`]);
 //! * **retries** — transient failures re-attempt up to `--retries` times;
+//! * **panic isolation** — a panicking job is caught at the job boundary
+//!   ([`pool::run_jobs`]), classified as [`error::JobErrorKind::Panic`],
+//!   and recorded in the manifest; the other workers keep running;
+//! * **sentinels** — `--sentinels` runs every simulation under the full
+//!   `ff-sentinel` invariant-checker set, failing jobs whose runs violate
+//!   a pipeline invariant even when they produce plausible numbers;
+//! * **quarantine** — `--quarantine-after N` skips configs that failed
+//!   `N` consecutive prior runs ([`quarantine::Quarantine`]), so one
+//!   wedged grid point cannot burn its watchdog budget on every resume;
+//! * **crash bundles** — every terminal simulation failure writes a
+//!   replayable [`bundle::CrashBundle`] (grid coordinates, classified
+//!   error, last retirements) consumable by the `ff-debug` triage flow;
 //! * **reproducible manifests** — `manifest.json` records config hashes,
 //!   seeds, scale, git revision, per-job wall time, and worker count;
 //! * **artifact-backed rendering** — [`store::ArtifactStore`] implements
@@ -30,19 +42,25 @@
 #![warn(missing_docs)]
 
 pub mod artifact;
+pub mod bundle;
 pub mod campaign;
+pub mod error;
 pub mod job;
 pub mod json;
 pub mod manifest;
 pub mod pool;
+pub mod quarantine;
 pub mod render_results;
 pub mod store;
 
+pub use bundle::{list_bundles, CrashBundle};
 pub use campaign::{
     full_grid, run_campaign, CampaignOptions, CampaignReport, FailureInjection, JobFilter,
     JobOutcome, JobStatus,
 };
+pub use error::{JobError, JobErrorKind};
 pub use job::{JobKind, JobSpec, FORMAT_VERSION};
 pub use manifest::{read_manifest, write_manifest, ManifestSummary};
+pub use quarantine::Quarantine;
 pub use render_results::render_all;
 pub use store::ArtifactStore;

@@ -35,15 +35,23 @@ OPTIONS:
     --jobs N              worker threads (default: available parallelism)
     --retries N           extra attempts per failed job (default: 0)
     --cycle-budget N      per-job watchdog: abort a simulation after N cycles
+    --sentinels           run every simulation under the ff-sentinel invariant
+                          checkers; a violation fails the job
+    --quarantine-after N  skip jobs that failed N consecutive prior runs
+                          (ledger: <out>/quarantine.json; --force bypasses)
     --out DIR             artifact directory (default: results/campaign/<scale>)
     --results DIR         where `run` renders the results files (default: results)
-    --force               re-run jobs even when a valid artifact exists
+    --force               re-run jobs even when a valid artifact exists, and
+                          retry quarantined jobs
     --no-render           skip rendering the results files after the run
     --quiet               suppress per-job progress lines
     --help                this text
 
+Failed simulations leave a replayable crash bundle under <out>/bundles/;
+replay one with `cargo run --release --example compare_divergence -- --bundle <path>`.
+
 `run` exits 0 when every job succeeded (or was cached), 1 when any job
-failed, and 2 on usage errors.";
+failed or was quarantined, and 2 on usage errors.";
 
 struct Cli {
     cmd: String,
@@ -51,6 +59,8 @@ struct Cli {
     jobs: usize,
     retries: u32,
     cycle_budget: Option<u64>,
+    sentinels: bool,
+    quarantine_after: Option<u32>,
     out: Option<PathBuf>,
     results: PathBuf,
     force: bool,
@@ -105,6 +115,8 @@ fn parse_cli(argv: &[String]) -> Result<Cli, String> {
         jobs: std::thread::available_parallelism().map_or(1, |n| n.get()),
         retries: 0,
         cycle_budget: None,
+        sentinels: false,
+        quarantine_after: None,
         out: None,
         results: PathBuf::from("results"),
         force: false,
@@ -141,6 +153,16 @@ fn parse_cli(argv: &[String]) -> Result<Cli, String> {
                 let v = value("--cycle-budget")?;
                 cli.cycle_budget =
                     Some(v.parse().map_err(|_| usage_err(&format!("bad --cycle-budget `{v}`")))?);
+            }
+            "--sentinels" => cli.sentinels = true,
+            "--quarantine-after" => {
+                let v = value("--quarantine-after")?;
+                cli.quarantine_after = Some(
+                    v.parse::<u32>()
+                        .ok()
+                        .filter(|&n| n >= 1)
+                        .ok_or_else(|| usage_err(&format!("bad --quarantine-after `{v}`")))?,
+                );
             }
             "--out" => cli.out = Some(PathBuf::from(value("--out")?)),
             "--results" => cli.results = PathBuf::from(value("--results")?),
@@ -183,11 +205,14 @@ fn cmd_status(cli: &Cli) -> ExitCode {
                 m.git,
                 m.wall_s
             );
-            println!("jobs: {} ok, {} cached, {} failed", m.ok, m.cached, m.failed);
+            println!(
+                "jobs: {} ok, {} cached, {} failed, {} quarantined",
+                m.ok, m.cached, m.failed, m.quarantined
+            );
             for id in &m.failed_ids {
                 println!("  failed: {id}");
             }
-            if m.failed > 0 {
+            if m.failed + m.quarantined > 0 {
                 ExitCode::FAILURE
             } else {
                 ExitCode::SUCCESS
@@ -213,6 +238,8 @@ fn cmd_run(cli: &Cli) -> ExitCode {
     opts.cycle_budget = cli.cycle_budget;
     opts.force = cli.force;
     opts.progress = !cli.quiet;
+    opts.sentinels = cli.sentinels;
+    opts.quarantine_after = cli.quarantine_after;
     if !cli.quiet {
         eprintln!(
             "ff-campaign: {} jobs at {} scale on {} workers -> {}",
@@ -234,16 +261,21 @@ fn cmd_run(cli: &Cli) -> ExitCode {
         return ExitCode::FAILURE;
     }
     eprintln!(
-        "ff-campaign: {} ok, {} cached, {} failed in {:.1}s",
+        "ff-campaign: {} ok, {} cached, {} failed, {} quarantined in {:.1}s",
         report.ok(),
         report.cached(),
         report.failed(),
+        report.quarantined(),
         report.wall_s
     );
     for f in report.failures() {
-        eprintln!("  failed: {} ({})", f.spec.id(), f.error.as_deref().unwrap_or("unknown"));
+        let err = f.error.as_ref().map_or_else(|| "unknown".to_string(), |e| e.to_string());
+        eprintln!("  failed: {} ({err})", f.spec.id());
     }
-    if report.failed() > 0 {
+    for q in report.quarantined_jobs() {
+        eprintln!("  quarantined: {}", q.spec.id());
+    }
+    if report.failed() + report.quarantined() > 0 {
         return ExitCode::FAILURE;
     }
     // Rendering needs the complete artifact set; a filtered run keeps its

@@ -51,7 +51,8 @@ pub fn render_manifest(report: &CampaignReport, git: &str) -> String {
                 ("wall_ms", Json::U64(o.wall_ms)),
             ];
             if let Some(err) = &o.error {
-                fields.push(("error", Json::Str(err.clone())));
+                fields.push(("error_kind", Json::Str(err.kind.name().into())));
+                fields.push(("error", Json::Str(err.to_string())));
             }
             Json::obj(fields)
         })
@@ -69,6 +70,7 @@ pub fn render_manifest(report: &CampaignReport, git: &str) -> String {
                 ("ok", Json::U64(report.ok() as u64)),
                 ("cached", Json::U64(report.cached() as u64)),
                 ("failed", Json::U64(report.failed() as u64)),
+                ("quarantined", Json::U64(report.quarantined() as u64)),
             ]),
         ),
         ("jobs", Json::Arr(jobs)),
@@ -101,6 +103,9 @@ pub struct ManifestSummary {
     pub cached: u64,
     /// Jobs that failed.
     pub failed: u64,
+    /// Jobs skipped by the quarantine ledger (absent in older manifests,
+    /// read as 0).
+    pub quarantined: u64,
     /// Ids of failed jobs.
     pub failed_ids: Vec<String>,
 }
@@ -137,6 +142,7 @@ pub fn read_manifest(dir: &Path) -> Result<ManifestSummary, String> {
         ok: field(counts, "ok")?,
         cached: field(counts, "cached")?,
         failed: field(counts, "failed")?,
+        quarantined: counts.get("quarantined").and_then(Json::as_u64).unwrap_or(0),
         failed_ids,
     })
 }
@@ -145,6 +151,7 @@ pub fn read_manifest(dir: &Path) -> Result<ManifestSummary, String> {
 mod tests {
     use super::*;
     use crate::campaign::{JobOutcome, JobStatus};
+    use crate::error::JobError;
     use crate::job::JobSpec;
     use ff_experiments::{HierKind, ModelKind};
     use ff_workloads::Scale;
@@ -164,7 +171,7 @@ mod tests {
                 JobOutcome {
                     spec: bad_spec,
                     status: JobStatus::Failed,
-                    error: Some("timeout: cycle budget exceeded".into()),
+                    error: Some(JobError::timeout("cycle budget exceeded")),
                     wall_ms: 7,
                     attempts: 3,
                 },
@@ -186,6 +193,7 @@ mod tests {
         assert_eq!(summary.workers, 4);
         assert_eq!(summary.git, "deadbeef");
         assert_eq!((summary.ok, summary.cached, summary.failed), (1, 0, 1));
+        assert_eq!(summary.quarantined, 0);
         assert_eq!(summary.failed_ids, vec!["art/ooo/config1/s2@test".to_string()]);
         std::fs::remove_dir_all(&dir).unwrap();
     }
@@ -196,6 +204,9 @@ mod tests {
         assert!(text.contains("\"seeds\""));
         assert!(text.contains("\"wall_s\""), "{text}");
         assert!(text.contains("\"wall_ms\": 42"));
+        assert!(text.contains("\"error_kind\": \"timeout\""), "{text}");
+        assert!(text.contains("\"error\": \"timeout: cycle budget exceeded\""), "{text}");
+        assert!(text.contains("\"quarantined\": 0"), "{text}");
     }
 
     #[test]

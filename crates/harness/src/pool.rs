@@ -1,24 +1,36 @@
-//! A deterministic self-scheduling worker pool over scoped threads.
+//! A deterministic, panic-tolerant self-scheduling worker pool over
+//! scoped threads.
 //!
 //! Workers pull the next job index from a shared atomic cursor, so the
 //! *assignment* of jobs to workers is racy — but every job is independent
 //! and results are scattered back by job index, so the returned vector is
 //! identical for any worker count. That property (not lock-step
 //! scheduling) is what the `--jobs 4` ≡ `--jobs 1` determinism test pins.
+//!
+//! A panic inside `run` is caught at the job boundary: the job's slot
+//! comes back `None`, the worker moves on to the next job, and the other
+//! workers never notice. One poisoned grid point cannot take down a
+//! multi-hour campaign.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Runs `run` over every job on `workers` threads, returning results in
-/// job order regardless of which worker executed which job.
+/// job order regardless of which worker executed which job. A job whose
+/// `run` panicked yields `None` in its slot; all other jobs still run and
+/// return normally.
 ///
 /// `init(worker_id)` builds one per-worker state value (e.g. a workload
-/// cache) that is threaded through every job that worker executes.
+/// cache) that is threaded through every job that worker executes. A
+/// panic leaves that state in place — `run` must tolerate state touched
+/// by a panicked predecessor (the campaign's workload cache is only ever
+/// appended to, so this holds trivially).
 pub fn run_jobs<J, S, R>(
     jobs: &[J],
     workers: usize,
     init: impl Fn(usize) -> S + Sync,
     run: impl Fn(&mut S, usize, &J) -> R + Sync,
-) -> Vec<R>
+) -> Vec<Option<R>>
 where
     J: Sync,
     R: Send,
@@ -40,19 +52,24 @@ where
                         if i >= jobs.len() {
                             break;
                         }
-                        out.push((i, run(&mut state, i, &jobs[i])));
+                        let r = catch_unwind(AssertUnwindSafe(|| run(&mut state, i, &jobs[i])));
+                        out.push((i, r.ok()));
                     }
                     out
                 })
             })
             .collect();
         for h in handles {
-            for (i, r) in h.join().expect("campaign worker panicked") {
-                slots[i] = Some(r);
+            // A worker that somehow died outside the per-job boundary
+            // (e.g. a panicking `init`) forfeits its results; its jobs'
+            // slots stay `None` rather than poisoning the whole pool.
+            let Ok(pairs) = h.join() else { continue };
+            for (i, r) in pairs {
+                slots[i] = r;
             }
         }
     });
-    slots.into_iter().map(|s| s.expect("every job index visited exactly once")).collect()
+    slots
 }
 
 #[cfg(test)]
@@ -67,7 +84,7 @@ mod tests {
             let parallel = run_jobs(&jobs, workers, |_| (), |_, _, j| j * j);
             assert_eq!(parallel, serial, "workers={workers}");
         }
-        assert_eq!(serial[10], 100);
+        assert_eq!(serial[10], Some(100));
     }
 
     #[test]
@@ -87,6 +104,7 @@ mod tests {
         );
         assert_eq!(hits.load(Ordering::Relaxed), 50);
         assert_eq!(out.len(), 50);
+        assert!(out.iter().all(Option::is_some));
     }
 
     #[test]
@@ -107,8 +125,33 @@ mod tests {
     }
 
     #[test]
+    fn a_panicking_job_does_not_kill_its_worker() {
+        // Quiet the default panic-backtrace printer for the expected panics.
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let jobs: Vec<u64> = (0..20).collect();
+        let out = run_jobs(
+            &jobs,
+            3,
+            |_| (),
+            |_, _, j| {
+                assert!(j % 7 != 3, "poisoned job {j}");
+                j * 2
+            },
+        );
+        std::panic::set_hook(prev);
+        for (i, slot) in out.iter().enumerate() {
+            if i % 7 == 3 {
+                assert_eq!(*slot, None, "job {i} should have panicked");
+            } else {
+                assert_eq!(*slot, Some(i as u64 * 2), "job {i} should have survived");
+            }
+        }
+    }
+
+    #[test]
     fn empty_job_list_is_fine() {
-        let out: Vec<u32> = run_jobs(&[] as &[u32], 8, |_| (), |_, _, j| *j);
+        let out: Vec<Option<u32>> = run_jobs(&[] as &[u32], 8, |_| (), |_, _, j| *j);
         assert!(out.is_empty());
     }
 }

@@ -1,0 +1,129 @@
+//! The repeat-failure quarantine ledger.
+//!
+//! A config that fails every campaign run (a genuinely wedged grid point,
+//! a panic-inducing model bug) would otherwise burn its full watchdog
+//! budget on every resume. With `--quarantine-after N`, the campaign
+//! keeps a `quarantine.json` ledger of *consecutive* failed runs per job
+//! id; a job at or past the threshold is skipped as
+//! [`crate::JobStatus::Quarantined`] instead of executed. Any successful
+//! (or cached) run clears a job's strikes, and `--force` bypasses the
+//! quarantine to give a fixed config its retrial.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use crate::json::Json;
+
+/// The ledger file name inside the campaign output directory.
+pub const QUARANTINE_NAME: &str = "quarantine.json";
+
+/// Consecutive-failure strikes per job id, persisted across campaign runs.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Quarantine {
+    strikes: BTreeMap<String, u64>,
+}
+
+impl Quarantine {
+    /// An empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Loads the ledger from `dir`. A missing or corrupt file is an empty
+    /// ledger — quarantine degrades gracefully, it never blocks a run.
+    pub fn load(dir: &Path) -> Quarantine {
+        let Ok(text) = std::fs::read_to_string(dir.join(QUARANTINE_NAME)) else {
+            return Quarantine::new();
+        };
+        let Ok(doc) = Json::parse(&text) else {
+            return Quarantine::new();
+        };
+        let mut strikes = BTreeMap::new();
+        if let Some(Json::Obj(pairs)) = doc.get("strikes") {
+            for (id, count) in pairs {
+                if let Some(n) = count.as_u64() {
+                    strikes.insert(id.clone(), n);
+                }
+            }
+        }
+        Quarantine { strikes }
+    }
+
+    /// Consecutive failed runs recorded for `id`.
+    pub fn strikes(&self, id: &str) -> u64 {
+        self.strikes.get(id).copied().unwrap_or(0)
+    }
+
+    /// Whether `id` has accumulated at least `threshold` consecutive
+    /// failures and should be skipped.
+    pub fn blocks(&self, id: &str, threshold: u32) -> bool {
+        self.strikes(id) >= u64::from(threshold.max(1))
+    }
+
+    /// Records one run of `id`: a failure adds a strike, anything else
+    /// clears them.
+    pub fn record(&mut self, id: &str, failed: bool) {
+        if failed {
+            *self.strikes.entry(id.to_string()).or_insert(0) += 1;
+        } else {
+            self.strikes.remove(id);
+        }
+    }
+
+    /// Writes the ledger into `dir`.
+    ///
+    /// # Errors
+    ///
+    /// On failure to write the file.
+    pub fn save(&self, dir: &Path) -> std::io::Result<()> {
+        let pairs: Vec<(String, Json)> =
+            self.strikes.iter().map(|(id, n)| (id.clone(), Json::U64(*n))).collect();
+        let doc = Json::obj(vec![("format", Json::U64(1)), ("strikes", Json::Obj(pairs))]);
+        std::fs::write(dir.join(QUARANTINE_NAME), doc.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strikes_accumulate_and_clear() {
+        let mut q = Quarantine::new();
+        q.record("a", true);
+        q.record("a", true);
+        q.record("b", true);
+        assert_eq!(q.strikes("a"), 2);
+        assert!(q.blocks("a", 2));
+        assert!(!q.blocks("a", 3));
+        assert!(!q.blocks("b", 2));
+        q.record("a", false);
+        assert_eq!(q.strikes("a"), 0);
+        assert!(!q.blocks("a", 1));
+    }
+
+    #[test]
+    fn ledger_round_trips_through_disk() {
+        let dir = std::env::temp_dir().join(format!("ff-quarantine-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut q = Quarantine::new();
+        q.record("mcf/MP/base/s0@test", true);
+        q.record("mcf/MP/base/s0@test", true);
+        q.save(&dir).unwrap();
+        let back = Quarantine::load(&dir);
+        assert_eq!(back, q);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_or_corrupt_ledger_is_empty() {
+        let dir = std::env::temp_dir().join(format!("ff-quarantine-bad-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        assert_eq!(Quarantine::load(&dir), Quarantine::new());
+        std::fs::write(dir.join(QUARANTINE_NAME), "not json").unwrap();
+        assert_eq!(Quarantine::load(&dir), Quarantine::new());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,11 +1,15 @@
 //! Campaign integration tests: parallel/serial determinism,
-//! checkpoint/resume, and the watchdog.
+//! checkpoint/resume, the watchdog, panic isolation, quarantine, and
+//! crash bundles.
 
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 
 use ff_experiments::{HierKind, ModelKind};
-use ff_harness::{full_grid, run_campaign, CampaignOptions, FailureInjection, JobSpec, JobStatus};
+use ff_harness::{
+    full_grid, list_bundles, manifest::render_manifest, run_campaign, CampaignOptions, CrashBundle,
+    FailureInjection, JobErrorKind, JobSpec, JobStatus,
+};
 use ff_workloads::Scale;
 
 fn temp_dir(tag: &str) -> PathBuf {
@@ -79,7 +83,8 @@ fn checkpoint_resume_reruns_only_missing_jobs() {
     // K jobs").
     let mut opts = CampaignOptions::new(Scale::Test, &dir);
     opts.workers = 2;
-    opts.inject = Some(FailureInjection { id_substring: "mcf".into(), times: u32::MAX });
+    opts.inject =
+        Some(FailureInjection { id_substring: "mcf".into(), times: u32::MAX, panic: false });
     let first = run_campaign(&jobs, &opts).unwrap();
     assert_eq!(first.failed(), 1);
     assert_eq!(first.ok(), 5);
@@ -125,7 +130,7 @@ fn retries_recover_transient_failures() {
     let mut opts = CampaignOptions::new(Scale::Test, &dir);
     opts.workers = 1;
     opts.attempts = 3;
-    opts.inject = Some(FailureInjection { id_substring: "vortex".into(), times: 2 });
+    opts.inject = Some(FailureInjection { id_substring: "vortex".into(), times: 2, panic: false });
     let report = run_campaign(&jobs, &opts).unwrap();
     assert_eq!(report.failed(), 0);
     assert_eq!(report.outcomes[0].attempts, 3);
@@ -147,12 +152,128 @@ fn watchdog_times_out_runaway_jobs() {
     let report = run_campaign(&jobs, &opts).unwrap();
     assert_eq!(report.failed(), 2);
     for outcome in report.failures() {
-        let err = outcome.error.as_deref().unwrap();
-        assert!(err.starts_with("timeout:"), "{err}");
-        assert!(err.contains("cycle budget exceeded"), "{err}");
+        let err = outcome.error.as_ref().unwrap();
+        assert_eq!(err.kind, JobErrorKind::Timeout);
+        let text = err.to_string();
+        assert!(text.starts_with("timeout:"), "{text}");
+        assert!(text.contains("cycle budget exceeded"), "{text}");
     }
     assert!(artifact_bytes(&dir).is_empty());
+    // Each timed-out simulation leaves a replayable crash bundle.
+    let bundles = list_bundles(&dir);
+    assert_eq!(bundles.len(), 2);
+    let bundle = CrashBundle::read(&bundles[0]).unwrap();
+    assert_eq!(bundle.error.kind, JobErrorKind::Timeout);
+    assert_eq!(bundle.cycle_budget, Some(10));
     std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Panic isolation: a job that panics is recorded as a classified
+/// `panic` failure with a crash bundle, while every other job on every
+/// worker completes normally.
+#[test]
+fn a_panicking_job_degrades_gracefully() {
+    let dir = temp_dir("panic");
+    let jobs: Vec<JobSpec> = ["mcf", "gzip", "art", "twolf"]
+        .into_iter()
+        .map(|bench| JobSpec::sim(ModelKind::InOrder, HierKind::Base, bench, 0, Scale::Test))
+        .collect();
+    let mut opts = CampaignOptions::new(Scale::Test, &dir);
+    opts.workers = 2;
+    opts.inject =
+        Some(FailureInjection { id_substring: "mcf".into(), times: u32::MAX, panic: true });
+    // Quiet the default panic-backtrace printer for the expected panic.
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let report = run_campaign(&jobs, &opts).unwrap();
+    std::panic::set_hook(prev);
+
+    assert_eq!(report.ok(), 3, "the surviving jobs must all complete");
+    assert_eq!(report.failed(), 1);
+    let failure = report.failures()[0];
+    assert_eq!(failure.spec.id(), "mcf/inorder/base/s0@test");
+    let err = failure.error.as_ref().unwrap();
+    assert_eq!(err.kind, JobErrorKind::Panic);
+    assert!(err.message.contains("injected panic"), "{err}");
+
+    // The taxonomy reaches the manifest...
+    let manifest = render_manifest(&report, "test");
+    assert!(manifest.contains("\"error_kind\": \"panic\""), "{manifest}");
+    // ...and the failure leaves a replayable bundle.
+    let bundles = list_bundles(&dir);
+    assert_eq!(bundles.len(), 1);
+    let bundle = CrashBundle::read(&bundles[0]).unwrap();
+    assert_eq!(bundle.bench, "mcf");
+    assert_eq!(bundle.error.kind, JobErrorKind::Panic);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Quarantine lifecycle: two consecutive failed runs put a config on the
+/// bench, `--force` gives it its retrial, and a success clears its
+/// strikes.
+#[test]
+fn quarantine_benches_repeat_offenders_and_force_recovers_them() {
+    let dir = temp_dir("quarantine");
+    let jobs = vec![JobSpec::sim(ModelKind::InOrder, HierKind::Base, "gap", 0, Scale::Test)];
+    let mut opts = CampaignOptions::new(Scale::Test, &dir);
+    opts.workers = 1;
+    opts.quarantine_after = Some(2);
+    opts.inject =
+        Some(FailureInjection { id_substring: "gap".into(), times: u32::MAX, panic: false });
+
+    // Two failing runs accumulate two strikes.
+    for run in 1..=2 {
+        let report = run_campaign(&jobs, &opts).unwrap();
+        assert_eq!(report.failed(), 1, "run {run}");
+        assert_eq!(report.quarantined(), 0, "run {run}");
+    }
+    // The third run skips the job without executing it.
+    let third = run_campaign(&jobs, &opts).unwrap();
+    assert_eq!(third.quarantined(), 1);
+    assert_eq!(third.failed(), 0);
+    assert_eq!(third.outcomes[0].attempts, 0);
+    let err = third.outcomes[0].error.as_ref().unwrap().to_string();
+    assert!(err.contains("quarantined after 2"), "{err}");
+
+    // --force bypasses the quarantine; with the fault gone the job
+    // succeeds and its strikes clear.
+    opts.inject = None;
+    opts.force = true;
+    let fourth = run_campaign(&jobs, &opts).unwrap();
+    assert_eq!(fourth.ok(), 1);
+    assert_eq!(fourth.quarantined(), 0);
+
+    // Back to a normal run: the artifact is cached, nothing quarantined.
+    opts.force = false;
+    let fifth = run_campaign(&jobs, &opts).unwrap();
+    assert_eq!(fifth.cached(), 1);
+    assert_eq!(fifth.quarantined(), 0);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// `--sentinels` is observation-only on clean runs: the artifact bytes
+/// are identical with the full checker set on or off.
+#[test]
+fn sentinels_do_not_perturb_clean_artifacts() {
+    let jobs = vec![JobSpec::sim(ModelKind::Multipass, HierKind::Base, "mcf", 0, Scale::Test)];
+
+    let plain_dir = temp_dir("plain");
+    let mut plain_opts = CampaignOptions::new(Scale::Test, &plain_dir);
+    plain_opts.workers = 1;
+    let plain = run_campaign(&jobs, &plain_opts).unwrap();
+    assert_eq!(plain.ok(), 1);
+
+    let sentinel_dir = temp_dir("sentinel");
+    let mut sentinel_opts = CampaignOptions::new(Scale::Test, &sentinel_dir);
+    sentinel_opts.workers = 1;
+    sentinel_opts.sentinels = true;
+    let checked = run_campaign(&jobs, &sentinel_opts).unwrap();
+    assert_eq!(checked.ok(), 1, "a clean run must pass the full checker set");
+    assert!(list_bundles(&sentinel_dir).is_empty());
+
+    assert_eq!(artifact_bytes(&plain_dir), artifact_bytes(&sentinel_dir));
+    std::fs::remove_dir_all(&plain_dir).unwrap();
+    std::fs::remove_dir_all(&sentinel_dir).unwrap();
 }
 
 /// The full plan is well formed at both scales (no duplicate content

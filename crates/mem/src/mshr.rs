@@ -33,7 +33,12 @@ pub struct MshrFile {
     allocations: u64,
     merges: u64,
     full_stalls: u64,
+    releases: u64,
     peak_occupancy: usize,
+    fault_lose_dealloc: Option<u64>,
+    /// The `(line, complete_at)` entry pinned by the lost-deallocation
+    /// fault: it keeps occupying a slot but is never released.
+    pinned: Option<(u64, u64)>,
 }
 
 impl MshrFile {
@@ -50,13 +55,37 @@ impl MshrFile {
             allocations: 0,
             merges: 0,
             full_stalls: 0,
+            releases: 0,
             peak_occupancy: 0,
+            fault_lose_dealloc: None,
+            pinned: None,
         }
     }
 
-    /// Releases entries whose misses have completed by cycle `now`.
+    /// Releases entries whose misses have completed by cycle `now`. An
+    /// entry pinned by the lost-deallocation fault survives every expiry
+    /// and is never counted as released.
     pub fn expire(&mut self, now: u64) {
-        self.entries.retain(|&(_, done)| done > now);
+        let pinned = self.pinned;
+        let before = self.entries.len();
+        self.entries.retain(|&e| e.1 > now || Some(e) == pinned);
+        self.releases += (before - self.entries.len()) as u64;
+    }
+
+    /// Releases every entry whose miss has a finite completion, regardless
+    /// of the current cycle — the end-of-run drain. A pinned entry (the
+    /// lost-deallocation fault) survives the drain and shows up as a leak.
+    pub fn drain(&mut self) {
+        self.expire(u64::MAX - 1);
+    }
+
+    /// Fault-injection hook: the `n`-th allocated entry (0-based) is never
+    /// deallocated. The fill itself still arrives — waiters merged on the
+    /// line wake at the real completion cycle — but the slot is never
+    /// reclaimed. Models the classic MSHR leak where the free-list update
+    /// is dropped after the fill response.
+    pub fn inject_lost_dealloc(&mut self, n: u64) {
+        self.fault_lose_dealloc = Some(n);
     }
 
     /// Requests tracking of a miss to `line` issued at `now`, completing at
@@ -64,13 +93,18 @@ impl MshrFile {
     /// first. See [`MshrOutcome`].
     pub fn request(&mut self, line: u64, now: u64, complete_at: u64) -> MshrOutcome {
         self.expire(now);
-        if let Some(&(_, done)) = self.entries.iter().find(|&&(l, _)| l == line) {
+        // A pinned entry whose miss already completed must not serve
+        // merges: its fill arrived long ago, only the slot leaked.
+        if let Some(&(_, done)) = self.entries.iter().find(|&&(l, d)| l == line && d > now) {
             self.merges += 1;
             return MshrOutcome::Merged { complete_at: done };
         }
         if self.entries.len() >= self.capacity {
             self.full_stalls += 1;
             return MshrOutcome::Full;
+        }
+        if self.fault_lose_dealloc == Some(self.allocations) {
+            self.pinned = Some((line, complete_at));
         }
         self.entries.push((line, complete_at));
         self.allocations += 1;
@@ -107,6 +141,18 @@ impl MshrFile {
     /// Total requests rejected because the file was full.
     pub fn full_stalls(&self) -> u64 {
         self.full_stalls
+    }
+
+    /// Total entries released back to the free pool by expiry.
+    pub fn releases(&self) -> u64 {
+        self.releases
+    }
+
+    /// Entries still resident, counting completed-but-unreclaimed ones
+    /// (reclamation is lazy; see [`MshrFile::expire`]). After
+    /// [`MshrFile::drain`], any nonzero residue is a leak.
+    pub fn live(&self) -> usize {
+        self.entries.len()
     }
 
     /// Highest simultaneous occupancy observed.
@@ -154,6 +200,32 @@ mod tests {
         assert_eq!(m.in_flight(0, 10), Some(42));
         assert_eq!(m.in_flight(0, 42), None);
         assert_eq!(m.in_flight(64, 10), None);
+    }
+
+    #[test]
+    fn drain_balances_allocations_and_releases() {
+        let mut m = MshrFile::new(4);
+        m.request(0, 0, 10);
+        m.request(64, 0, 20);
+        m.request(128, 15, 30); // reclaims the first entry on the way in
+        m.drain();
+        assert_eq!(m.allocations(), 3);
+        assert_eq!(m.releases(), 3);
+        assert_eq!(m.live(), 0);
+    }
+
+    #[test]
+    fn lost_dealloc_fault_leaks_one_entry() {
+        let mut m = MshrFile::new(4);
+        m.inject_lost_dealloc(1);
+        assert_eq!(m.request(0, 0, 10), MshrOutcome::Allocated { complete_at: 10 });
+        // The faulted allocation still reports its real completion cycle to
+        // the requester; only the bookkeeping entry is pinned.
+        assert_eq!(m.request(64, 0, 20), MshrOutcome::Allocated { complete_at: 20 });
+        m.drain();
+        assert_eq!(m.allocations(), 2);
+        assert_eq!(m.releases(), 1);
+        assert_eq!(m.live(), 1);
     }
 
     #[test]

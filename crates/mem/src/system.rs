@@ -97,6 +97,13 @@ pub struct MemStats {
     pub mshr_retries: u64,
     /// Speculative (advance/runahead) reads issued.
     pub speculative_reads: u64,
+    /// MSHR entries allocated over the run.
+    pub mshr_allocations: u64,
+    /// MSHR entries released by expiry, including the end-of-run drain.
+    pub mshr_releases: u64,
+    /// MSHR entries still resident after the end-of-run drain. Nonzero
+    /// means a leak: an allocation whose fill response never arrived.
+    pub mshr_leaked: u64,
 }
 
 /// The full timing memory system.
@@ -116,6 +123,8 @@ pub struct MemorySystem {
     l3: Cache,
     mshrs: MshrFile,
     stats: MemStats,
+    fault_warp_latency: Option<u64>,
+    data_reads_seen: u64,
 }
 
 impl MemorySystem {
@@ -129,7 +138,34 @@ impl MemorySystem {
             l3: Cache::new(config.l3),
             mshrs: MshrFile::new(config.max_outstanding as usize),
             stats: MemStats::default(),
+            fault_warp_latency: None,
+            data_reads_seen: 0,
         }
+    }
+
+    /// Fault-injection hook: the `n`-th data read (0-based, demand or
+    /// speculative) reports a completion cycle warped far past any legal
+    /// hierarchy latency. Models a corrupted fill-timing response.
+    pub fn inject_warp_latency(&mut self, n: u64) {
+        self.fault_warp_latency = Some(n);
+    }
+
+    /// Fault-injection hook: the `n`-th MSHR allocation is never
+    /// deallocated. See [`MshrFile::inject_lost_dealloc`].
+    pub fn inject_lost_mshr_dealloc(&mut self, n: u64) {
+        self.mshrs.inject_lost_dealloc(n);
+    }
+
+    /// Final run counters: drains the MSHR file (releasing every miss that
+    /// completes at a finite cycle) and folds the allocation/release
+    /// balance into the stats so leaks are visible in [`MemStats`].
+    pub fn final_stats(&mut self) -> MemStats {
+        self.mshrs.drain();
+        let mut s = self.stats;
+        s.mshr_allocations = self.mshrs.allocations();
+        s.mshr_releases = self.mshrs.releases();
+        s.mshr_leaked = self.mshrs.live() as u64;
+        s
     }
 
     /// The hierarchy configuration.
@@ -165,6 +201,28 @@ impl MemorySystem {
     /// `now + latency_of_serving_level`. A second access to a line already
     /// in flight merges and completes when the first does.
     pub fn access(&mut self, addr: u64, kind: AccessKind, now: u64) -> MemAccess {
+        let warp = if matches!(kind, AccessKind::DataRead | AccessKind::SpeculativeRead) {
+            let hit = self.fault_warp_latency == Some(self.data_reads_seen);
+            self.data_reads_seen += 1;
+            hit
+        } else {
+            false
+        };
+        let r = self.access_inner(addr, kind, now);
+        match r {
+            MemAccess::Done { complete_at, level } if warp => {
+                MemAccess::Done { complete_at: complete_at + Self::WARP_DELAY, level }
+            }
+            _ => r,
+        }
+    }
+
+    /// Extra delay injected by [`MemorySystem::inject_warp_latency`] — far
+    /// beyond any legal hierarchy latency, so timing sentinels can bound
+    /// legitimate completion times well below it.
+    pub const WARP_DELAY: u64 = 99_000;
+
+    fn access_inner(&mut self, addr: u64, kind: AccessKind, now: u64) -> MemAccess {
         if kind.is_ifetch() {
             self.stats.ifetches += 1;
         } else {

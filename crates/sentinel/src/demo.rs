@@ -1,0 +1,79 @@
+//! Small hand-built kernels that deterministically exercise the multipass
+//! machinery the fault injector perturbs.
+//!
+//! The fault-detection proofs ([`crate::fault`]) need workloads where each
+//! fault site is *guaranteed* to be reached: an advance episode with
+//! result-store merges for the register-corruption fault, architectural
+//! load wakeups and MSHR misses for the wakeup/latency/MSHR faults, and an
+//! ASC forward whose S-bit must be set for the stale-forward fault.
+
+use ff_isa::{Inst, MemoryImage, Op, Program, Reg};
+
+/// A pointer chase with an independent miss stream behind the stall point —
+/// the paper's Figure 1 access pattern. Opens advance episodes on every
+/// chase link, produces result-store merges in rally, and misses every
+/// level of the hierarchy (allocating MSHRs).
+pub fn chase(nodes: u64) -> (Program, MemoryImage) {
+    let mut p = Program::new();
+    let b0 = p.add_block();
+    let b1 = p.add_block();
+    let b2 = p.add_block();
+    p.push(b0, Inst::new(Op::MovImm).dst(Reg::int(1)).imm(0x10_0000).stop());
+    p.push(b0, Inst::new(Op::MovImm).dst(Reg::int(5)).imm(0x400_0000).stop());
+    // loop: r1 = load [r1] (long miss); consume it (stall-on-use trigger);
+    // an independent miss stream and a dependent payload load behind it.
+    p.push(b1, Inst::new(Op::Load).dst(Reg::int(1)).src(Reg::int(1)).region(0).stop());
+    p.push(b1, Inst::new(Op::Restart).src(Reg::int(1)).stop());
+    p.push(b1, Inst::new(Op::Add).dst(Reg::int(4)).src(Reg::int(1)).src(Reg::int(0)).stop());
+    p.push(b1, Inst::new(Op::Load).dst(Reg::int(2)).src(Reg::int(5)).region(1));
+    p.push(b1, Inst::new(Op::Load).dst(Reg::int(6)).src(Reg::int(1)).imm(8).region(0).stop());
+    p.push(b1, Inst::new(Op::Add).dst(Reg::int(3)).src(Reg::int(3)).src(Reg::int(2)));
+    p.push(b1, Inst::new(Op::AddImm).dst(Reg::int(5)).src(Reg::int(5)).imm(4096).stop());
+    p.push(b1, Inst::new(Op::CmpNe).dst(Reg::pred(1)).src(Reg::int(4)).src(Reg::int(0)).stop());
+    p.push(b1, Inst::new(Op::Br { target: b1 }).qp(Reg::pred(1)).stop());
+    p.push(b2, Inst::new(Op::Halt).stop());
+    let mut mem = MemoryImage::new();
+    let stride = 128 * 1024;
+    for i in 0..nodes {
+        let a = 0x10_0000 + i * stride;
+        let next = if i + 1 == nodes { 0 } else { 0x10_0000 + (i + 1) * stride };
+        mem.store(a, next);
+        mem.store(a + 8, i * 10);
+    }
+    for i in 0..nodes {
+        mem.store(0x400_0000 + i * 4096, i);
+    }
+    (p, mem)
+}
+
+/// A kernel whose advance pass performs an ASC forward that *must* carry
+/// the data-speculation (S) bit (§3.6): a known-address store inserts into
+/// the ASC, a younger store's address depends on the missed load (so it
+/// defers), and a load of the known address then forwards under that
+/// in-flight deferred store. The deferred store targets a different word,
+/// so rally's value verification passes and a clean run stays clean.
+pub fn forwarding() -> (Program, MemoryImage) {
+    let mut p = Program::new();
+    let b0 = p.add_block();
+    let b1 = p.add_block();
+    p.push(b0, Inst::new(Op::MovImm).dst(Reg::int(1)).imm(0x10_0000).stop());
+    p.push(b0, Inst::new(Op::MovImm).dst(Reg::int(7)).imm(0x5000).stop());
+    p.push(b0, Inst::new(Op::MovImm).dst(Reg::int(10)).imm(99).stop());
+    // Long-miss load opens the advance window.
+    p.push(b0, Inst::new(Op::Load).dst(Reg::int(2)).src(Reg::int(1)).region(0).stop());
+    p.push(b0, Inst::new(Op::Add).dst(Reg::int(3)).src(Reg::int(2)).src(Reg::int(0)).stop());
+    // Known-address store: inserts 99 at 0x5000 into the ASC.
+    p.push(b0, Inst::new(Op::Store).src(Reg::int(7)).src(Reg::int(10)).region(1).stop());
+    // Younger store whose address depends on the missed load: deferred.
+    p.push(b0, Inst::new(Op::And).dst(Reg::int(8)).src(Reg::int(2)).src(Reg::int(0)).stop());
+    p.push(b0, Inst::new(Op::AddImm).dst(Reg::int(9)).src(Reg::int(8)).imm(0x6000).stop());
+    p.push(b0, Inst::new(Op::Store).src(Reg::int(9)).src(Reg::int(10)).stop());
+    // Forwarding load: ASC hit on 0x5000 under the deferred store — S-bit.
+    p.push(b0, Inst::new(Op::Load).dst(Reg::int(11)).src(Reg::int(7)).region(1).stop());
+    p.push(b0, Inst::new(Op::Add).dst(Reg::int(12)).src(Reg::int(11)).src(Reg::int(11)).stop());
+    p.push(b0, Inst::new(Op::Br { target: b1 }).stop());
+    p.push(b1, Inst::new(Op::Halt).stop());
+    let mut mem = MemoryImage::new();
+    mem.store(0x10_0000, 5);
+    (p, mem)
+}

@@ -1,0 +1,150 @@
+//! Deterministic seeded fault injection.
+//!
+//! Each [`FaultClass`] arms one of the `fault_*` hooks on
+//! [`MultipassConfig`]; the hook silently corrupts the `N`-th occurrence of
+//! its event (a result-store merge, a load wakeup, ...). Determinism is the
+//! point: a `(class, index)` pair always corrupts the same dynamic event,
+//! so a detection proved in a test stays proved in CI and a missed
+//! detection is replayable.
+//!
+//! The coverage contract — every fault class is caught by at least one
+//! checker — is enforced by [`run_faulted`]'s callers: `ff-sentinel fault`
+//! in CI and the crate's tests. Any fault that *fires* is observable (the
+//! hooks corrupt events the checkers audit directly), so scanning indices
+//! past the end of a run's event stream simply yields clean runs.
+
+use ff_engine::SimCase;
+use ff_isa::{MemoryImage, Program};
+use ff_multipass::{Multipass, MultipassConfig};
+
+use crate::{check_model, demo, SentinelReport};
+
+/// Cycle watchdog for faulted runs: a dropped wakeup wedges the pipeline
+/// forever, so faulted runs must time out rather than hang. Large enough
+/// that a warped-latency run (~100k stalled cycles) still completes.
+pub const FAULT_CYCLE_BUDGET: u64 = 400_000;
+
+/// The injectable fault classes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultClass {
+    /// The `N`-th result-store merge XORs the merged value with 1 —
+    /// silent architectural register corruption.
+    RegisterBitFlip,
+    /// The `N`-th architectural load wakeup is dropped: its destination
+    /// register stays pending essentially forever.
+    DroppedWakeup,
+    /// The `N`-th data read's completion is warped far past any legal
+    /// hierarchy latency.
+    WarpedCacheLatency,
+    /// The `N`-th MSHR allocation is never deallocated.
+    LostMshrDealloc,
+    /// The `N`-th ASC forward that should carry the data-speculation (S)
+    /// bit forwards without it, skipping rally verification.
+    StaleAscForward,
+}
+
+impl FaultClass {
+    /// All five classes.
+    pub const ALL: [FaultClass; 5] = [
+        FaultClass::RegisterBitFlip,
+        FaultClass::DroppedWakeup,
+        FaultClass::WarpedCacheLatency,
+        FaultClass::LostMshrDealloc,
+        FaultClass::StaleAscForward,
+    ];
+
+    /// Stable short name (used by the CLI and CI).
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultClass::RegisterBitFlip => "reg-flip",
+            FaultClass::DroppedWakeup => "dropped-wakeup",
+            FaultClass::WarpedCacheLatency => "warp-latency",
+            FaultClass::LostMshrDealloc => "lost-mshr",
+            FaultClass::StaleAscForward => "stale-asc",
+        }
+    }
+
+    /// Parses a fault-class name.
+    pub fn parse(s: &str) -> Option<FaultClass> {
+        FaultClass::ALL.into_iter().find(|c| c.name() == s)
+    }
+
+    /// The sentinels expected to catch this class.
+    pub fn expected_sentinels(self) -> &'static [&'static str] {
+        match self {
+            FaultClass::RegisterBitFlip => &["golden"],
+            FaultClass::DroppedWakeup => &["scoreboard-srf"],
+            FaultClass::WarpedCacheLatency => &["scoreboard-srf"],
+            FaultClass::LostMshrDealloc => &["mshr"],
+            FaultClass::StaleAscForward => &["asc"],
+        }
+    }
+
+    /// Arms this fault on the `index`-th occurrence of its event.
+    pub fn apply(self, cfg: &mut MultipassConfig, index: u64) {
+        match self {
+            FaultClass::RegisterBitFlip => cfg.fault_corrupt_rs_merge = Some(index),
+            FaultClass::DroppedWakeup => cfg.fault_drop_wakeup = Some(index),
+            FaultClass::WarpedCacheLatency => cfg.fault_warp_cache_latency = Some(index),
+            FaultClass::LostMshrDealloc => cfg.fault_lose_mshr_dealloc = Some(index),
+            FaultClass::StaleAscForward => cfg.fault_stale_asc_forward = Some(index),
+        }
+    }
+
+    /// The demo kernel guaranteed to reach this class's fault site at
+    /// index 0.
+    pub fn workload(self) -> (Program, MemoryImage) {
+        match self {
+            FaultClass::StaleAscForward => demo::forwarding(),
+            _ => demo::chase(32),
+        }
+    }
+}
+
+/// A seeded linear-congruential fault-site picker. Deterministic: the same
+/// seed always yields the same `(class, index)` campaign.
+#[derive(Clone, Debug)]
+pub struct FaultInjector {
+    state: u64,
+}
+
+impl FaultInjector {
+    /// Creates an injector from a seed.
+    pub fn new(seed: u64) -> Self {
+        FaultInjector { state: seed ^ 0x9e37_79b9_7f4a_7c15 }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        // Knuth's MMIX LCG constants; plenty for picking fault sites.
+        self.state = self
+            .state
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1_442_695_040_888_963_407);
+        self.state >> 16
+    }
+
+    /// Picks the next fault: a class and a small occurrence index (small so
+    /// the site usually lands within a short run's event stream).
+    pub fn next_fault(&mut self) -> (FaultClass, u64) {
+        let class = FaultClass::ALL[(self.next_u64() % FaultClass::ALL.len() as u64) as usize];
+        let index = self.next_u64() % 4;
+        (class, index)
+    }
+}
+
+/// Runs this class's demo kernel on the multipass model with the fault
+/// armed at `index`, under the full checker set.
+pub fn run_faulted(class: FaultClass, index: u64) -> SentinelReport {
+    let (p, mem) = class.workload();
+    let case = SimCase::new(&p, mem).with_cycle_budget(FAULT_CYCLE_BUDGET);
+    let mut cfg = MultipassConfig::default();
+    class.apply(&mut cfg, index);
+    let mut model = Multipass::with_config(cfg);
+    check_model(&mut model, &case)
+}
+
+/// Whether `report` shows the fault was caught by a sentinel expected to
+/// catch this class.
+pub fn detected(class: FaultClass, report: &SentinelReport) -> bool {
+    class.expected_sentinels().iter().any(|s| report.fired(s))
+}

@@ -14,7 +14,10 @@
 //! * [`power`] — Wattch-like power models (Table 1)
 //! * [`experiments`] — table/figure reproduction harness
 //! * [`harness`] — parallel campaign runner (`ff-campaign`) with
-//!   checkpoint/resume, watchdogs, and run manifests
+//!   checkpoint/resume, watchdogs, panic isolation, quarantine, and
+//!   run manifests
+//! * [`sentinel`] — cycle-level invariant checkers (`ff-sentinel`) and
+//!   the deterministic fault injector that proves they fire
 //! * [`debug`] — first-divergence triage against the golden interpreter
 
 #![forbid(unsafe_code)]
@@ -51,4 +54,5 @@ pub use ff_isa as isa;
 pub use ff_mem as mem;
 pub use ff_multipass as multipass;
 pub use ff_power as power;
+pub use ff_sentinel as sentinel;
 pub use ff_workloads as workloads;
