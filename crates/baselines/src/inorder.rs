@@ -9,9 +9,12 @@
 //! Figure 6: every cycle in which no instruction issues is charged to the
 //! stall cause of the oldest unissued instruction.
 
+use std::borrow::Cow;
+
 use ff_engine::{
-    Activity, ExecutionModel, FuPool, MachineConfig, PendingKind, RetireEvent, RetireHook,
-    RetireMode, RunError, RunResult, RunStats, Scoreboard, SimCase, StallKind,
+    operand_wake, Activity, ExecutionModel, FuPool, MachineConfig, PendingKind, RetireEvent,
+    RetireHook, RetireMode, RunError, RunResult, RunStats, Scoreboard, SimCase, StallKind,
+    TickMode,
 };
 use ff_frontend::{FetchUnit, Gshare};
 use ff_isa::eval::{alu, effective_address};
@@ -22,12 +25,13 @@ use ff_mem::{AccessKind, MemAccess, MemorySystem};
 #[derive(Clone, Debug)]
 pub struct InOrder {
     config: MachineConfig,
+    tick: TickMode,
 }
 
 impl InOrder {
     /// Creates the model with the given machine configuration.
     pub fn new(config: MachineConfig) -> Self {
-        InOrder { config }
+        InOrder { config, tick: TickMode::default() }
     }
 
     /// The machine configuration.
@@ -41,6 +45,10 @@ pub(crate) use ff_engine::operand_stall;
 impl ExecutionModel for InOrder {
     fn name(&self) -> &'static str {
         "inorder"
+    }
+
+    fn set_tick_mode(&mut self, mode: TickMode) {
+        self.tick = mode;
     }
 
     fn try_run_hooked(
@@ -83,21 +91,22 @@ impl ExecutionModel for InOrder {
             let mut stall: Option<StallKind> = None;
 
             while issued_this_cycle < cfg.issue_width {
-                let head = match fetch.get(fetch.head_seq()) {
-                    Some(e) if e.fetched_at <= now => e,
+                let (pc, seq, predicted_next, snap) = match fetch.get(fetch.head_seq()) {
+                    Some(e) if e.fetched_at <= now => {
+                        (e.pc, e.seq, e.predicted_next, e.history_snapshot)
+                    }
                     _ => break, // empty buffer (or entry still in flight)
                 };
-                let inst = head.inst.clone();
-                let pc = head.pc;
-                let seq = head.seq;
-                let predicted_next = head.predicted_next;
-                let snap = head.history_snapshot;
+                // The fetch buffer holds a verbatim copy of the static
+                // instruction; borrow the program's original rather than
+                // cloning it into every issue slot.
+                let inst = program.inst(pc).expect("fetched pc is valid");
 
-                if let Some(kind) = operand_stall(&inst, &sb, now) {
+                if let Some(kind) = operand_stall(inst, &sb, now) {
                     stall = Some(kind);
                     break;
                 }
-                if !fu.try_issue(&inst, now) {
+                if !fu.try_issue(inst, now) {
                     stall = Some(StallKind::Other);
                     break;
                 }
@@ -201,7 +210,7 @@ impl ExecutionModel for InOrder {
                         seq,
                         cycle: now,
                         pc,
-                        inst: inst.clone(),
+                        inst: Cow::Borrowed(inst),
                         qp_true: Some(qp_true),
                         wrote: if qp_true {
                             inst.writes().map(|d| (d, state.read(d)))
@@ -231,6 +240,45 @@ impl ExecutionModel for InOrder {
                 stats.breakdown.charge(StallKind::FrontEnd);
             }
             now += 1;
+
+            // Event-driven quiescence fast-forward: when fetch is idle
+            // and the head of the issue queue is provably blocked on a
+            // known-latency event, skip ahead to the earliest wake point,
+            // charging every skipped cycle exactly as the polled loop
+            // would have. Bit-for-bit identical stats by construction.
+            if self.tick == TickMode::EventDriven && !halted {
+                if let Some(fetch_wake) = fetch.quiescent_until(now) {
+                    let window = match fetch.get(fetch.head_seq()) {
+                        None => Some((u64::MAX, StallKind::FrontEnd)),
+                        Some(e) if e.fetched_at > now => Some((e.fetched_at, StallKind::FrontEnd)),
+                        Some(e) => {
+                            let inst = program.inst(e.pc).expect("fetched pc is valid");
+                            match operand_stall(inst, &sb, now) {
+                                // The stall *kind* may change once the
+                                // earliest operand readies: wake at the
+                                // min crossing and re-evaluate there.
+                                Some(kind) => operand_wake(inst, &sb, now).map(|w| (w, kind)),
+                                // Blocked purely on an occupied
+                                // unpipelined FP unit.
+                                None if !fu.can_issue_fresh(inst, now) => {
+                                    Some((fu.next_fp_release(now), StallKind::Other))
+                                }
+                                // Would issue (or needs a memory access,
+                                // which mutates hierarchy stats): poll.
+                                None => None,
+                            }
+                        }
+                    };
+                    if let Some((target, kind)) = window {
+                        let wake =
+                            target.min(fetch_wake).min(mem.next_mshr_fill(now)).min(cycle_cap);
+                        if wake > now {
+                            stats.breakdown.charge_n(kind, wake - now);
+                            now = wake;
+                        }
+                    }
+                }
+            }
         }
 
         stats.cycles = now;

@@ -18,9 +18,11 @@
 //! floating-point instructions, which fill quickly under long cache misses
 //! and throttle the achievable parallelism.
 
+use std::borrow::Cow;
+
 use ff_engine::{
     Activity, DynTrace, ExecutionModel, FuPool, MachineConfig, RetireEvent, RetireHook, RetireMode,
-    RunError, RunResult, RunStats, SimCase, StallKind, TraceInst,
+    RunError, RunResult, RunStats, SimCase, StallKind, TickMode, TraceInst,
 };
 use ff_frontend::Gshare;
 use ff_isa::{FuClass, Op};
@@ -40,12 +42,13 @@ enum WindowKind {
 pub struct OutOfOrder {
     config: MachineConfig,
     kind: WindowKind,
+    tick: TickMode,
 }
 
 impl OutOfOrder {
     /// The idealized model of §5.1 (Figure 6's `OOO` bars).
     pub fn new(config: MachineConfig) -> Self {
-        OutOfOrder { config, kind: WindowKind::Unified }
+        OutOfOrder { config, kind: WindowKind::Unified, tick: TickMode::default() }
     }
 
     /// The realistic decentralized variant of §5.2: three 16-entry
@@ -54,7 +57,7 @@ impl OutOfOrder {
     /// result returns, so long cache misses fill the small queues quickly —
     /// "the more quickly filled scheduling resources" of §5.2.
     pub fn realistic(config: MachineConfig) -> Self {
-        OutOfOrder { config, kind: WindowKind::Decentralized }
+        OutOfOrder { config, kind: WindowKind::Decentralized, tick: TickMode::default() }
     }
 
     fn queue_of(inst: &TraceInst) -> usize {
@@ -74,6 +77,10 @@ impl ExecutionModel for OutOfOrder {
             WindowKind::Unified => "ooo",
             WindowKind::Decentralized => "ooo-realistic",
         }
+    }
+
+    fn set_tick_mode(&mut self, mode: TickMode) {
+        self.tick = mode;
     }
 
     fn try_run_hooked(
@@ -322,7 +329,7 @@ impl ExecutionModel for OutOfOrder {
                         seq: ti.seq,
                         cycle: now,
                         pc: ti.pc,
-                        inst: ti.inst.clone(),
+                        inst: Cow::Borrowed(&ti.inst),
                         qp_true: Some(ti.qp_true),
                         wrote: ti.wrote,
                         stored: ti.stored,
@@ -368,6 +375,131 @@ impl ExecutionModel for OutOfOrder {
             }
 
             now += 1;
+
+            // Event-driven fast-forward: skip ahead while every pipeline
+            // section is provably idle — fetch blocked or drained, dispatch
+            // capacity-blocked, no window entry's dependences visible, no
+            // retirement or queue release due. The wake set collects every
+            // cycle at which any of those facts can change; attribution is
+            // constant inside the window and bulk-charged.
+            if self.tick == TickMode::EventDriven && !retired_halt {
+                'ff: {
+                    let mut wake = if fetch_idx >= n || waiting_branch.is_some() {
+                        u64::MAX
+                    } else if now < fetch_blocked_until {
+                        fetch_blocked_until
+                    } else {
+                        break 'ff; // fetch would access the I-cache: poll
+                    };
+                    if let Some(&(idx, ready_at)) = decode.front() {
+                        if ready_at > now {
+                            wake = wake.min(ready_at);
+                        } else {
+                            let rob_full = rob_tail - rob_head >= cfg.ooo_rob;
+                            let slot_full = match self.kind {
+                                WindowKind::Unified => window.len() >= cfg.ooo_window,
+                                WindowKind::Decentralized => {
+                                    queue_len[Self::queue_of(&insts[idx])]
+                                        >= cfg.ooo_decentralized_queue
+                                }
+                            };
+                            if !rob_full && !slot_full {
+                                break 'ff; // would dispatch: poll
+                            }
+                            // Capacity clears only via retirement or queue
+                            // release, both already in the wake set below.
+                        }
+                    }
+                    // A window entry wakes when its last finite dependence
+                    // becomes visible; a dependence that has not issued
+                    // cannot complete inside a quiescent window.
+                    for &idx in &window {
+                        let ti = &insts[idx];
+                        let mut entry_wake: u64 = now;
+                        let mut unknowable = false;
+                        {
+                            let mut consider = |d: u64| {
+                                let c = complete[d as usize];
+                                if c == NOT_DONE {
+                                    unknowable = true;
+                                } else {
+                                    entry_wake = entry_wake.max(c + wakeup_delay);
+                                }
+                            };
+                            for &d in &ti.reg_deps {
+                                consider(d);
+                            }
+                            if let Some(d) = ti.mem_dep {
+                                consider(d);
+                            }
+                        }
+                        if unknowable {
+                            continue;
+                        }
+                        if entry_wake <= now {
+                            break 'ff; // issueable now: the select loop acts
+                        }
+                        wake = wake.min(entry_wake);
+                    }
+                    if rob_head < rob_tail {
+                        let c = complete[rob_head];
+                        if c != NOT_DONE {
+                            if c <= now {
+                                break 'ff; // would retire: poll
+                            }
+                            wake = wake.min(c);
+                        }
+                        // The stall attribution (load vs other) can flip
+                        // when a pending dependence of the oldest completes.
+                        if !issued_flag[rob_head] {
+                            for &d in &insts[rob_head].reg_deps {
+                                let cd = complete[d as usize];
+                                if cd != NOT_DONE && cd > now {
+                                    wake = wake.min(cd);
+                                }
+                            }
+                        }
+                    }
+                    for &(done, _) in &queue_release {
+                        if done > now {
+                            wake = wake.min(done);
+                        } else {
+                            break 'ff; // release due this cycle: poll
+                        }
+                    }
+                    wake = wake.min(mem.next_mshr_fill(now)).min(cycle_cap);
+                    if wake <= now {
+                        break 'ff;
+                    }
+                    // Attribution for an idle cycle, identical to the
+                    // polled path with issued == 0.
+                    let kind = if rob_head >= rob_tail && decode.is_empty() {
+                        StallKind::FrontEnd
+                    } else if rob_head < rob_tail {
+                        if issued_flag[rob_head] {
+                            if insts[rob_head].inst.op().is_load() {
+                                StallKind::Load
+                            } else {
+                                StallKind::Other
+                            }
+                        } else {
+                            let blocking_load = insts[rob_head].reg_deps.iter().any(|&d| {
+                                (complete[d as usize] == NOT_DONE || complete[d as usize] > now)
+                                    && insts[d as usize].inst.op().is_load()
+                            });
+                            if blocking_load {
+                                StallKind::Load
+                            } else {
+                                StallKind::Other
+                            }
+                        }
+                    } else {
+                        StallKind::FrontEnd
+                    };
+                    stats.breakdown.charge_n(kind, wake - now);
+                    now = wake;
+                }
+            }
         }
 
         stats.cycles = now;
@@ -376,7 +508,9 @@ impl ExecutionModel for OutOfOrder {
             stats,
             activity,
             mem_stats: mem.final_stats(),
-            final_state: trace.final_state().clone(),
+            // The run is over: move the recorded final state out of the
+            // trace instead of cloning the whole memory image.
+            final_state: trace.into_final_state(),
         })
     }
 }

@@ -19,11 +19,13 @@
 //! limitations (no persistence, no restart) that motivate multipass
 //! pipelining.
 
+use std::borrow::Cow;
 use std::collections::HashMap;
 
 use ff_engine::{
-    Activity, ExecutionModel, FuPool, MachineConfig, PendingKind, RetireEvent, RetireHook,
-    RetireMode, RunError, RunResult, RunStats, Scoreboard, SimCase, StallKind,
+    operand_wake, Activity, ExecutionModel, FuPool, MachineConfig, PendingKind, RetireEvent,
+    RetireHook, RetireMode, RunError, RunResult, RunStats, Scoreboard, SimCase, StallKind,
+    TickMode,
 };
 use ff_frontend::{FetchUnit, Gshare};
 use ff_isa::eval::{alu, effective_address};
@@ -87,18 +89,23 @@ impl SpecRegs {
 #[derive(Clone, Debug)]
 pub struct Runahead {
     config: MachineConfig,
+    tick: TickMode,
 }
 
 impl Runahead {
     /// Creates the model with the given machine configuration.
     pub fn new(config: MachineConfig) -> Self {
-        Runahead { config }
+        Runahead { config, tick: TickMode::default() }
     }
 }
 
 impl ExecutionModel for Runahead {
     fn name(&self) -> &'static str {
         "runahead"
+    }
+
+    fn set_tick_mode(&mut self, mode: TickMode) {
+        self.tick = mode;
     }
 
     fn try_run_hooked(
@@ -148,22 +155,22 @@ impl ExecutionModel for Runahead {
             // ---- architectural issue (identical to the in-order core) ----
             if episode.is_none() {
                 while issued_arch < cfg.issue_width {
-                    let head = match fetch.get(fetch.head_seq()) {
-                        Some(e) if e.fetched_at <= now => e,
+                    let (pc, seq, predicted_next, snap) = match fetch.get(fetch.head_seq()) {
+                        Some(e) if e.fetched_at <= now => {
+                            (e.pc, e.seq, e.predicted_next, e.history_snapshot)
+                        }
                         _ => break,
                     };
-                    let inst = head.inst.clone();
-                    let pc = head.pc;
-                    let seq = head.seq;
-                    let predicted_next = head.predicted_next;
-                    let snap = head.history_snapshot;
+                    // Borrow the program's instruction rather than cloning
+                    // the fetch buffer's copy into every issue slot.
+                    let inst = program.inst(pc).expect("fetched pc is valid");
 
-                    if let Some(kind) = operand_stall(&inst, &sb, now) {
+                    if let Some(kind) = operand_stall(inst, &sb, now) {
                         stall = Some(kind);
                         blocked_on_load = kind == StallKind::Load;
                         break;
                     }
-                    if !fu.try_issue(&inst, now) {
+                    if !fu.try_issue(inst, now) {
                         stall = Some(StallKind::Other);
                         break;
                     }
@@ -258,7 +265,7 @@ impl ExecutionModel for Runahead {
                             seq,
                             cycle: now,
                             pc,
-                            inst: inst.clone(),
+                            inst: Cow::Borrowed(inst),
                             qp_true: Some(qp_true),
                             wrote: if qp_true {
                                 inst.writes().map(|d| (d, state.read(d)))
@@ -306,15 +313,14 @@ impl ExecutionModel for Runahead {
             if let Some((peek, spec)) = &mut episode {
                 let mut pseudo_issued = 0u32;
                 while pseudo_issued < cfg.issue_width {
-                    let entry = match fetch.get(*peek) {
-                        Some(e) if e.fetched_at <= now => e,
+                    let (pc, predicted_next, snap) = match fetch.get(*peek) {
+                        Some(e) if e.fetched_at <= now => {
+                            (e.pc, e.predicted_next, e.history_snapshot)
+                        }
                         _ => break,
                     };
-                    let inst = entry.inst.clone();
-                    let pc = entry.pc;
-                    let predicted_next = entry.predicted_next;
-                    let snap = entry.history_snapshot;
-                    if !fu.try_issue(&inst, now) {
+                    let inst = program.inst(pc).expect("fetched pc is valid");
+                    if !fu.try_issue(inst, now) {
                         break;
                     }
                     let ends_group = inst.ends_group();
@@ -446,6 +452,45 @@ impl ExecutionModel for Runahead {
                 stats.breakdown.charge(StallKind::Load);
                 stats.spec_mode_cycles += 1;
                 now += 1;
+
+                // Event-driven fast-forward inside an episode: skip ahead
+                // only while the exit check provably stays false, the
+                // pseudo-issue loop has nothing to chew on (PEEK ran past
+                // fetch), and fetch itself is idle. Each skipped cycle is
+                // charged to the blocking load, exactly as polled.
+                if self.tick == TickMode::EventDriven && !halted {
+                    if let Some(fetch_wake) = fetch.quiescent_until(now) {
+                        let peek_wake = match fetch.get(*peek) {
+                            None => Some(u64::MAX),
+                            Some(e) if e.fetched_at > now => Some(e.fetched_at),
+                            Some(_) => None, // live entry: pre-execution would run
+                        };
+                        let head_wake = fetch.get(fetch.head_seq()).and_then(|e| {
+                            if e.fetched_at > now {
+                                return Some(e.fetched_at);
+                            }
+                            let inst = program.inst(e.pc).expect("fetched pc is valid");
+                            if operand_stall(inst, &sb, now).is_none() {
+                                None // exit check fires: poll
+                            } else {
+                                Some(operand_wake(inst, &sb, now).unwrap_or(u64::MAX))
+                            }
+                        });
+                        if let (Some(p), Some(h)) = (peek_wake, head_wake) {
+                            let wake = p
+                                .min(h)
+                                .min(fetch_wake)
+                                .min(mem.next_mshr_fill(now))
+                                .min(cycle_cap);
+                            if wake > now {
+                                let skipped = wake - now;
+                                stats.breakdown.charge_n(StallKind::Load, skipped);
+                                stats.spec_mode_cycles += skipped;
+                                now = wake;
+                            }
+                        }
+                    }
+                }
                 continue;
             }
 
@@ -457,6 +502,40 @@ impl ExecutionModel for Runahead {
                 stats.breakdown.charge(StallKind::FrontEnd);
             }
             now += 1;
+
+            // Event-driven fast-forward in the architectural regime: same
+            // analysis as the in-order baseline, except a predicted *load*
+            // stall is never skipped — it enters a runahead episode the
+            // very cycle it is detected.
+            if self.tick == TickMode::EventDriven && !halted {
+                if let Some(fetch_wake) = fetch.quiescent_until(now) {
+                    let window = match fetch.get(fetch.head_seq()) {
+                        None => Some((u64::MAX, StallKind::FrontEnd)),
+                        Some(e) if e.fetched_at > now => Some((e.fetched_at, StallKind::FrontEnd)),
+                        Some(e) => {
+                            let inst = program.inst(e.pc).expect("fetched pc is valid");
+                            match operand_stall(inst, &sb, now) {
+                                Some(kind) if kind != StallKind::Load => {
+                                    operand_wake(inst, &sb, now).map(|w| (w, kind))
+                                }
+                                Some(_) => None,
+                                None if !fu.can_issue_fresh(inst, now) => {
+                                    Some((fu.next_fp_release(now), StallKind::Other))
+                                }
+                                None => None,
+                            }
+                        }
+                    };
+                    if let Some((target, kind)) = window {
+                        let wake =
+                            target.min(fetch_wake).min(mem.next_mshr_fill(now)).min(cycle_cap);
+                        if wake > now {
+                            stats.breakdown.charge_n(kind, wake - now);
+                            now = wake;
+                        }
+                    }
+                }
+            }
         }
 
         stats.cycles = now;

@@ -1,45 +1,18 @@
-//! Criterion micro-benchmarks of the simulator core: cycles simulated per
-//! second for each execution model on a fixed small workload.
+//! Steady-state simulator throughput with a tracked perf trajectory.
+//!
+//! Custom harness (no criterion): measurement needs a warm-up phase keyed
+//! to retirement counts and a machine-readable `BENCH_*.json` output that
+//! CI diffs against the committed baseline. See
+//! [`ff_bench::throughput`] for the protocol and the `measure`/`check`
+//! subcommands.
+//!
+//! ```text
+//! cargo bench -p ff-bench --bench sim_throughput                       # measure
+//! cargo bench -p ff-bench --bench sim_throughput -- check \
+//!     --baseline BENCH_main.json                                       # perf gate
+//! ```
 
-use criterion::{criterion_group, criterion_main, Criterion};
-
-use ff_baselines::{InOrder, OutOfOrder, Runahead};
-use ff_engine::{ExecutionModel, MachineConfig, SimCase};
-use ff_multipass::Multipass;
-use ff_workloads::{Scale, Workload};
-
-fn bench_models(c: &mut Criterion) {
-    let w = Workload::by_name("gap", Scale::Test).expect("gap exists");
-    let machine = MachineConfig::itanium2_base();
-    let mut group = c.benchmark_group("sim_throughput");
-    group.sample_size(10);
-
-    group.bench_function("inorder/gap", |b| {
-        b.iter(|| {
-            let case = SimCase::new(&w.program, w.mem.clone());
-            InOrder::new(machine).run(&case).stats.cycles
-        })
-    });
-    group.bench_function("runahead/gap", |b| {
-        b.iter(|| {
-            let case = SimCase::new(&w.program, w.mem.clone());
-            Runahead::new(machine).run(&case).stats.cycles
-        })
-    });
-    group.bench_function("ooo/gap", |b| {
-        b.iter(|| {
-            let case = SimCase::new(&w.program, w.mem.clone());
-            OutOfOrder::new(machine).run(&case).stats.cycles
-        })
-    });
-    group.bench_function("multipass/gap", |b| {
-        b.iter(|| {
-            let case = SimCase::new(&w.program, w.mem.clone());
-            Multipass::new(machine).run(&case).stats.cycles
-        })
-    });
-    group.finish();
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(ff_bench::throughput::cli_main(&args));
 }
-
-criterion_group!(benches, bench_models);
-criterion_main!(benches);

@@ -10,10 +10,15 @@
 //! * `figure8_ablation` — Figure 8 regrouping/restart ablation
 //! * `realistic_ooo` — §5.2 decentralized-OOO comparison
 //! * `runahead_compare` — §5.4 Dundas–Mudge comparison
-//! * `sim_throughput` — criterion micro-benchmarks of the simulator core
+//! * `sim_throughput` — steady-state simulator throughput (cycles/sec and
+//!   insts/sec per model x kernel x tick mode), written to
+//!   `BENCH_<git-describe>.json` and gated against `BENCH_main.json` by
+//!   the CI `perf-gate` job (see [`throughput`])
 //!
 //! Set `FF_SCALE=test` to run the figure benches on miniature workloads
 //! (useful for CI); the default is the paper-scale configuration.
+
+pub mod throughput;
 
 /// Reads the workload scale from `FF_SCALE` (`test` or `paper`, default
 /// `paper`).

@@ -18,13 +18,14 @@
 //!   data-speculative loads value-wise, and dropping back to architectural
 //!   mode once DEQ catches the high-water PEEK mark.
 
+use std::borrow::Cow;
 use std::collections::BTreeMap;
 
 use ff_engine::{
-    operand_stall, Activity, AscForwardObs, CycleObs, EpisodeWindow, ExecutionModel, FuPool,
-    MachineConfig, MemAccessObs, NullProbe, NullRetireHook, PendingKind, PipelineProbe,
+    operand_stall, operand_wake, Activity, AscForwardObs, CycleObs, EpisodeWindow, ExecutionModel,
+    FuPool, MachineConfig, MemAccessObs, NullProbe, NullRetireHook, PendingKind, PipelineProbe,
     RetireEvent, RetireHook, RetireMode, RunError, RunResult, RunStats, Scoreboard, SimCase,
-    StallKind,
+    StallKind, TickMode,
 };
 use ff_frontend::{FetchUnit, Gshare};
 use ff_isa::eval::{alu, effective_address};
@@ -64,19 +65,20 @@ enum AdvRead {
 #[derive(Clone, Debug)]
 pub struct Multipass {
     config: MultipassConfig,
+    tick: TickMode,
 }
 
 impl Multipass {
     /// Creates the model from a base machine configuration with the
     /// paper's multipass parameters.
     pub fn new(machine: MachineConfig) -> Self {
-        Multipass { config: MultipassConfig::new(machine) }
+        Multipass { config: MultipassConfig::new(machine), tick: TickMode::default() }
     }
 
     /// Creates the model from an explicit multipass configuration
     /// (ablation switches for Figure 8).
     pub fn with_config(config: MultipassConfig) -> Self {
-        Multipass { config }
+        Multipass { config, tick: TickMode::default() }
     }
 
     /// The active configuration.
@@ -142,6 +144,10 @@ struct Core<'a> {
     load_pends: u64,
     /// ASC forwards with the S bit set so far (fault-injection index).
     speculative_forwards: u64,
+    /// Per-cycle tick strategy. Event-driven runs must be bit-for-bit
+    /// identical to polling; the fast-forward only ever skips cycles it
+    /// can prove the polled loop would spend idle.
+    tick: TickMode,
     now: u64,
     halted: bool,
 }
@@ -199,6 +205,7 @@ impl<'a> Core<'a> {
             probe_enabled,
             load_pends: 0,
             speculative_forwards: 0,
+            tick: TickMode::default(),
             now: 0,
             halted: false,
         }
@@ -501,7 +508,7 @@ impl<'a> Core<'a> {
                         seq,
                         cycle: self.now,
                         pc,
-                        inst: inst.clone(),
+                        inst: Cow::Borrowed(inst),
                         qp_true: None,
                         wrote,
                         stored,
@@ -644,7 +651,7 @@ impl<'a> Core<'a> {
                         seq,
                         cycle: self.now,
                         pc,
-                        inst: inst.clone(),
+                        inst: Cow::Borrowed(inst),
                         qp_true: Some(qp_true),
                         wrote: if qp_true {
                             inst.writes().map(|d| (d, self.state.read(d)))
@@ -1176,6 +1183,130 @@ impl<'a> Core<'a> {
         self.slot_executed = true;
     }
 
+    // ------------------------------------------------------ event-driven
+
+    /// The earliest future cycle at which the head (trigger) instruction's
+    /// issueability can change through the passage of time alone — the
+    /// advance→rally wake point. `u64::MAX` when only an external event
+    /// (fetch arrival) can change it.
+    fn head_wake(&self) -> u64 {
+        let Some(fe) = self.fetch.get(self.fetch.head_seq()) else {
+            return u64::MAX;
+        };
+        if fe.fetched_at > self.now {
+            return fe.fetched_at;
+        }
+        let ent = self.entry(fe.seq);
+        if ent.e_bit {
+            ent.rs_ready_at
+        } else {
+            operand_wake(&fe.inst, &self.sb, self.now).unwrap_or(u64::MAX)
+        }
+    }
+
+    /// Event-driven quiescence fast-forward, called at the bottom of the
+    /// per-cycle loop. Skips ahead over a stretch of cycles the polled
+    /// loop would provably spend idle: the fetch unit must be quiescent,
+    /// no mode transition may be pending, and the issue stage must be
+    /// blocked on a known-latency event. Every skipped cycle is charged
+    /// to the same stall category the polled loop would have charged, and
+    /// — when a probe is attached — still publishes its per-cycle
+    /// snapshot, so stats, artifacts, and observation streams are
+    /// bit-for-bit identical in both tick modes.
+    fn fast_forward(&mut self, cycle_cap: u64) {
+        if self.halted || self.now >= cycle_cap {
+            return;
+        }
+        // Pending mode transitions must be taken by the polled path so
+        // the mode trace and per-mode cycle counts stay exact.
+        if self.mode == Mode::Advance && self.head_issueable() {
+            return;
+        }
+        if self.mode == Mode::Rally && self.fetch.head_seq() >= self.peek_high {
+            return;
+        }
+        // Fetch must be idle for the whole window; `fetch_wake` bounds it.
+        let Some(fetch_wake) = self.fetch.quiescent_until(self.now) else {
+            return;
+        };
+        let (target, kind) = if self.now < self.stall_until {
+            // Value-misspeculation flush penalty: pure wait.
+            (self.stall_until, StallKind::Other)
+        } else {
+            match self.mode {
+                Mode::Advance => {
+                    if self.now < self.advance_wait_until {
+                        // Restarted pass timed to meet an arrival; the
+                        // head may become issueable first (rally entry).
+                        (self.advance_wait_until.min(self.head_wake()), StallKind::Load)
+                    } else {
+                        match self.fetch.get(self.peek) {
+                            // PEEK ran past fetch: advance issue is a
+                            // no-op until the head wakes (fetch arrivals
+                            // bound the window via `fetch_wake`).
+                            None => (self.head_wake(), StallKind::Load),
+                            Some(fe) if fe.fetched_at > self.now => {
+                                (self.head_wake().min(fe.fetched_at), StallKind::Load)
+                            }
+                            // The PEEK entry is live: advance would work.
+                            Some(_) => return,
+                        }
+                    }
+                }
+                Mode::Architectural | Mode::Rally => {
+                    let seq = self.fetch.head_seq();
+                    match self.fetch.get(seq) {
+                        None => (u64::MAX, StallKind::FrontEnd),
+                        Some(fe) if fe.fetched_at > self.now => {
+                            (fe.fetched_at, StallKind::FrontEnd)
+                        }
+                        Some(fe) => {
+                            if self.entry(seq).e_bit {
+                                // Merge work, or a Load stall that enters
+                                // advance mode this very cycle.
+                                return;
+                            }
+                            match operand_stall(&fe.inst, &self.sb, self.now) {
+                                // A Load stall enters advance mode the
+                                // same cycle: not skippable.
+                                Some(k) if k != StallKind::Load => {
+                                    match operand_wake(&fe.inst, &self.sb, self.now) {
+                                        Some(w) => (w, k),
+                                        None => return,
+                                    }
+                                }
+                                _ => return,
+                            }
+                        }
+                    }
+                }
+            }
+        };
+        let wake = target.min(fetch_wake).min(self.mem.next_mshr_fill(self.now)).min(cycle_cap);
+        if wake <= self.now {
+            return;
+        }
+        if self.probe_enabled {
+            // Probes observe every cycle, skipped or not: emit the same
+            // per-cycle snapshots the polled loop would have.
+            while self.now < wake {
+                self.probe_cycle();
+                self.stats.breakdown.charge(kind);
+                self.bump_mode_cycles();
+                self.now += 1;
+            }
+        } else {
+            let skipped = wake - self.now;
+            self.stats.breakdown.charge_n(kind, skipped);
+            match self.mode {
+                Mode::Advance => self.stats.spec_mode_cycles += skipped,
+                Mode::Rally => self.stats.rally_cycles += skipped,
+                Mode::Architectural => {}
+            }
+            self.now = wake;
+        }
+    }
+
     // ----------------------------------------------------------------- run
 
     fn run(&mut self, case: &SimCase<'_>) -> Result<RunResult, RunError> {
@@ -1216,6 +1347,9 @@ impl<'a> Core<'a> {
                 self.stats.breakdown.charge(StallKind::Other);
                 self.bump_mode_cycles();
                 self.now += 1;
+                if self.tick == TickMode::EventDriven {
+                    self.fast_forward(cycle_cap);
+                }
                 continue;
             }
 
@@ -1252,6 +1386,9 @@ impl<'a> Core<'a> {
 
             self.bump_mode_cycles();
             self.now += 1;
+            if self.tick == TickMode::EventDriven {
+                self.fast_forward(cycle_cap);
+            }
         }
 
         self.stats.cycles = self.now;
@@ -1260,11 +1397,14 @@ impl<'a> Core<'a> {
         self.activity.srf_reads = self.srf.read_count();
         self.activity.srf_writes = self.srf.write_count();
 
+        // The simulation is finished: move the stats and final state out
+        // instead of cloning them (the architectural memory image can be
+        // megabytes for the paper-scale workloads).
         Ok(RunResult {
-            stats: self.stats.clone(),
+            stats: std::mem::take(&mut self.stats),
             activity: self.activity,
             mem_stats: self.mem.final_stats(),
-            final_state: self.state.clone(),
+            final_state: std::mem::replace(&mut self.state, ArchState::new()),
         })
     }
 
@@ -1290,13 +1430,19 @@ impl ExecutionModel for Multipass {
         }
     }
 
+    fn set_tick_mode(&mut self, mode: TickMode) {
+        self.tick = mode;
+    }
+
     fn try_run_hooked(
         &mut self,
         case: &SimCase<'_>,
         hook: &mut dyn RetireHook,
     ) -> Result<RunResult, RunError> {
         let mut probe = NullProbe;
-        Core::new(self.config, case, hook, &mut probe).run(case)
+        let mut core = Core::new(self.config, case, hook, &mut probe);
+        core.tick = self.tick;
+        core.run(case)
     }
 
     fn try_run_probed(
@@ -1308,7 +1454,9 @@ impl ExecutionModel for Multipass {
         // Unlike the default tee, the multipass core publishes the deep
         // per-cycle observations itself; retirements reach both the hook
         // and the probe directly.
-        let result = Core::new(self.config, case, hook, probe).run(case)?;
+        let mut core = Core::new(self.config, case, hook, probe);
+        core.tick = self.tick;
+        let result = core.run(case)?;
         probe.on_run_end(&result);
         Ok(result)
     }
@@ -1322,6 +1470,7 @@ impl Multipass {
         let mut null = NullRetireHook;
         let mut null_probe = NullProbe;
         let mut core = Core::new(self.config, case, &mut null, &mut null_probe);
+        core.tick = self.tick;
         core.mode_trace = Some(Vec::new());
         let result = core.run(case).unwrap_or_else(|e| panic!("{e} — runaway program?"));
         (result, core.mode_trace.take().unwrap_or_default())

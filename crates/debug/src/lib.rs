@@ -157,7 +157,7 @@ pub struct Divergence {
     pub kind: DivergenceKind,
     /// The retirements leading up to (and including) the divergent one,
     /// oldest first.
-    pub history: Vec<RetireEvent>,
+    pub history: Vec<RetireEvent<'static>>,
 }
 
 impl fmt::Display for Divergence {
@@ -216,12 +216,12 @@ impl<'a> LockstepChecker<'a> {
         self.ring.total()
     }
 
-    fn diverge(&mut self, event: &RetireEvent, kind: DivergenceKind) {
+    fn diverge(&mut self, event: &RetireEvent<'_>, kind: DivergenceKind) {
         self.divergence = Some(Divergence {
             seq: event.seq,
             cycle: event.cycle,
             pc: event.pc,
-            inst: event.inst.clone(),
+            inst: event.inst.as_ref().clone(),
             mode: event.mode,
             merged: event.merged,
             episode: event.episode,
@@ -513,7 +513,7 @@ mod tests {
             seq: 0,
             cycle: 0,
             pc,
-            inst: Inst::new(Op::Halt),
+            inst: std::borrow::Cow::Owned(Inst::new(Op::Halt)),
             qp_true: Some(true),
             wrote: None,
             stored: None,

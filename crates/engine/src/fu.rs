@@ -89,6 +89,29 @@ impl FuPool {
         }
         ok
     }
+
+    /// Whether `inst` could reserve a slot at the *start* of cycle `now`,
+    /// before any issue has consumed a budget. Non-mutating; used by the
+    /// event-driven tick to prove a head-of-queue instruction is blocked
+    /// purely on an occupied unpipelined FP unit.
+    pub fn can_issue_fresh(&self, inst: &Inst, now: u64) -> bool {
+        if self.width == 0 {
+            return false;
+        }
+        match inst.op().fu_class() {
+            FuClass::Mem => self.mem_ports > 0,
+            FuClass::Branch => self.branch_ports > 0,
+            FuClass::Int => self.int_ports > 0 || (inst.op().is_a_type() && self.mem_ports > 0),
+            FuClass::Fp => self.fp_busy_until.iter().any(|&b| b <= now),
+        }
+    }
+
+    /// The earliest cycle after `now` at which an occupied unpipelined FP
+    /// unit frees, or `u64::MAX` when none is in flight — a wake point for
+    /// the event-driven tick.
+    pub fn next_fp_release(&self, now: u64) -> u64 {
+        self.fp_busy_until.iter().copied().filter(|&b| b > now).min().unwrap_or(u64::MAX)
+    }
 }
 
 fn take(slot: &mut u32) -> bool {

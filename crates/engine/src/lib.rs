@@ -37,9 +37,9 @@ pub mod trace;
 pub use activity::Activity;
 pub use config::MachineConfig;
 pub use fu::FuPool;
-pub use model::{ExecutionModel, RunError, RunResult, SimCase};
+pub use model::{ExecutionModel, RunError, RunResult, SimCase, TickMode};
 pub use probe::{AscForwardObs, CycleObs, MemAccessObs, NullProbe, PipelineProbe, RetireTee};
 pub use retire::{EpisodeWindow, NullRetireHook, RetireEvent, RetireHook, RetireMode, RetireRing};
-pub use scoreboard::{operand_stall, PendingKind, Scoreboard};
+pub use scoreboard::{operand_stall, operand_wake, PendingKind, Scoreboard};
 pub use stats::{RunStats, StallKind};
 pub use trace::{DynTrace, TraceInst};

@@ -86,6 +86,25 @@ impl fmt::Display for RunError {
 
 impl std::error::Error for RunError {}
 
+/// How a model advances simulated time.
+///
+/// Both modes are required to produce bit-for-bit identical results —
+/// the same [`RunResult`], retirement stream, and probe observation
+/// stream. The event-driven mode is purely a simulator-throughput
+/// optimization: it fast-forwards *quiescent* stretches (cycles proven to
+/// have no observable work beyond charging a stall cycle) to the next
+/// registered wake event instead of ticking them one by one.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum TickMode {
+    /// Tick every structure every cycle — the reference semantics.
+    Polling,
+    /// Fast-forward quiescent stall windows to the earliest wake event
+    /// (MSHR fill, FU release, fetch unblock, operand ready, rally
+    /// resume). The default.
+    #[default]
+    EventDriven,
+}
+
 /// Output of one simulation run.
 #[derive(Clone, Debug)]
 pub struct RunResult {
@@ -109,6 +128,15 @@ pub struct RunResult {
 pub trait ExecutionModel: Send {
     /// Short name used in experiment output ("inorder", "MP", "OOO", ...).
     fn name(&self) -> &'static str;
+
+    /// Selects how the model advances simulated time (see [`TickMode`]).
+    ///
+    /// Every mode must produce identical results; models that have no
+    /// event-driven fast path simply ignore the setting, which is why the
+    /// default implementation is a no-op.
+    fn set_tick_mode(&mut self, mode: TickMode) {
+        let _ = mode;
+    }
 
     /// Simulates `case` until the program halts or the effective cycle
     /// cap ([`SimCase::cycle_cap`]) is hit, reporting every retired

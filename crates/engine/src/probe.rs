@@ -106,7 +106,7 @@ pub trait PipelineProbe {
     }
 
     /// An instruction retired.
-    fn on_retire(&mut self, event: &RetireEvent) {
+    fn on_retire(&mut self, event: &RetireEvent<'_>) {
         let _ = event;
     }
 
@@ -164,7 +164,7 @@ impl RetireHook for RetireTee<'_> {
         true
     }
 
-    fn on_retire(&mut self, event: &RetireEvent) {
+    fn on_retire(&mut self, event: &RetireEvent<'_>) {
         if self.hook_enabled {
             self.hook.on_retire(event);
         }
@@ -185,7 +185,7 @@ mod tests {
     fn tee_forwards_to_both_sides() {
         struct CountProbe(u64);
         impl PipelineProbe for CountProbe {
-            fn on_retire(&mut self, _: &RetireEvent) {
+            fn on_retire(&mut self, _: &RetireEvent<'_>) {
                 self.0 += 1;
             }
         }
@@ -198,7 +198,7 @@ mod tests {
             seq: 0,
             cycle: 3,
             pc: p.first_pc_from(ff_isa::program::BlockId(0)).unwrap(),
-            inst: ff_isa::Inst::new(ff_isa::Op::Nop),
+            inst: std::borrow::Cow::Owned(ff_isa::Inst::new(ff_isa::Op::Nop)),
             qp_true: None,
             wrote: None,
             stored: None,

@@ -11,6 +11,7 @@
 //! consumes these events to run a golden interpreter in lockstep and report
 //! the *first divergence* of a buggy model.
 
+use std::borrow::Cow;
 use std::collections::VecDeque;
 use std::fmt;
 
@@ -61,16 +62,22 @@ impl fmt::Display for EpisodeWindow {
 }
 
 /// One architecturally retired dynamic instruction.
+///
+/// The event fires once per retired instruction whenever any hook or
+/// probe is enabled, so the instruction itself is carried as a
+/// [`Cow`]: models borrow it straight out of the program (no per-retire
+/// clone on the hot path), while observers that outlive the retirement
+/// call [`RetireEvent::into_owned`] to detach it.
 #[derive(Clone, Debug)]
-pub struct RetireEvent {
+pub struct RetireEvent<'a> {
     /// Position in the dynamic instruction stream (0-based).
     pub seq: u64,
     /// Cycle at which the instruction retired.
     pub cycle: u64,
     /// Static location.
     pub pc: Pc,
-    /// The retired instruction.
-    pub inst: Inst,
+    /// The retired instruction, usually borrowed from the program.
+    pub inst: Cow<'a, Inst>,
     /// Qualifying-predicate outcome, when the model evaluated it at
     /// retirement. `None` when the retirement merged a preserved result
     /// whose predicate was resolved during an earlier pass.
@@ -89,9 +96,29 @@ pub struct RetireEvent {
     pub episode: Option<EpisodeWindow>,
 }
 
-impl fmt::Display for RetireEvent {
+impl RetireEvent<'_> {
+    /// Detaches the event from the program it borrows, cloning the
+    /// instruction if it was borrowed. Only observers that *retain*
+    /// events (rings, divergence reports) pay this copy.
+    pub fn into_owned(self) -> RetireEvent<'static> {
+        RetireEvent {
+            seq: self.seq,
+            cycle: self.cycle,
+            pc: self.pc,
+            inst: Cow::Owned(self.inst.into_owned()),
+            qp_true: self.qp_true,
+            wrote: self.wrote,
+            stored: self.stored,
+            mode: self.mode,
+            merged: self.merged,
+            episode: self.episode,
+        }
+    }
+}
+
+impl fmt::Display for RetireEvent<'_> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "#{:<6} cy{:<8} {} `{}`", self.seq, self.cycle, self.pc, self.inst)?;
+        write!(f, "#{:<6} cy{:<8} {} `{}`", self.seq, self.cycle, self.pc, self.inst.as_ref())?;
         match self.qp_true {
             Some(true) => {}
             Some(false) => write!(f, " [qp=false]")?,
@@ -125,7 +152,7 @@ pub trait RetireHook {
     }
 
     /// Called once per retired dynamic instruction, in retirement order.
-    fn on_retire(&mut self, event: &RetireEvent);
+    fn on_retire(&mut self, event: &RetireEvent<'_>);
 }
 
 /// A hook that ignores every event (the default for plain `run`).
@@ -137,7 +164,7 @@ impl RetireHook for NullRetireHook {
         false
     }
 
-    fn on_retire(&mut self, _event: &RetireEvent) {}
+    fn on_retire(&mut self, _event: &RetireEvent<'_>) {}
 }
 
 /// A bounded ring buffer over the most recent retirements.
@@ -146,7 +173,7 @@ impl RetireHook for NullRetireHook {
 /// divergence without retaining the entire (possibly huge) dynamic stream.
 #[derive(Clone, Debug)]
 pub struct RetireRing {
-    events: VecDeque<RetireEvent>,
+    events: VecDeque<RetireEvent<'static>>,
     capacity: usize,
     total: u64,
 }
@@ -158,22 +185,23 @@ impl RetireRing {
         RetireRing { events: VecDeque::with_capacity(capacity), capacity, total: 0 }
     }
 
-    /// Records one event, evicting the oldest when full.
-    pub fn push(&mut self, event: RetireEvent) {
+    /// Records one event (detaching it from its program), evicting the
+    /// oldest when full.
+    pub fn push(&mut self, event: RetireEvent<'_>) {
         if self.events.len() == self.capacity {
             self.events.pop_front();
         }
-        self.events.push_back(event);
+        self.events.push_back(event.into_owned());
         self.total += 1;
     }
 
     /// The retained events, oldest first.
-    pub fn events(&self) -> impl Iterator<Item = &RetireEvent> {
+    pub fn events(&self) -> impl Iterator<Item = &RetireEvent<'static>> {
         self.events.iter()
     }
 
     /// The most recent event, if any.
-    pub fn last(&self) -> Option<&RetireEvent> {
+    pub fn last(&self) -> Option<&RetireEvent<'static>> {
         self.events.back()
     }
 
@@ -194,7 +222,7 @@ impl RetireRing {
 }
 
 impl RetireHook for RetireRing {
-    fn on_retire(&mut self, event: &RetireEvent) {
+    fn on_retire(&mut self, event: &RetireEvent<'_>) {
         self.push(event.clone());
     }
 }
@@ -204,7 +232,7 @@ mod tests {
     use super::*;
     use ff_isa::{Op, Program};
 
-    fn event(seq: u64) -> RetireEvent {
+    fn event(seq: u64) -> RetireEvent<'static> {
         let mut p = Program::new();
         let b = p.add_block();
         p.push(b, Inst::new(Op::Nop));
@@ -213,7 +241,7 @@ mod tests {
             seq,
             cycle: seq * 2,
             pc,
-            inst: Inst::new(Op::Nop),
+            inst: Cow::Owned(Inst::new(Op::Nop)),
             qp_true: Some(true),
             wrote: None,
             stored: None,

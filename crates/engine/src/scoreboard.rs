@@ -131,6 +131,33 @@ pub fn operand_stall(inst: &Inst, sb: &Scoreboard, now: u64) -> Option<StallKind
     None
 }
 
+/// The earliest future cycle at which one of `inst`'s interlocked
+/// registers (sources, predicate, and the §3.5 WAW destination) becomes
+/// ready — i.e. the first cycle at which [`operand_stall`]'s answer can
+/// change through the passage of time alone. `None` when nothing pends
+/// past `now`. The event-driven tick uses this as a conservative wake
+/// point: the *kind* of stall may differ once the earliest operand
+/// readies, so the window must be re-evaluated there, not at the max.
+pub fn operand_wake(inst: &Inst, sb: &Scoreboard, now: u64) -> Option<u64> {
+    if matches!(inst.op(), Op::Restart) {
+        return None;
+    }
+    let mut wake: Option<u64> = None;
+    let mut consider = |r: Reg| {
+        let rc = sb.ready_cycle(r);
+        if rc > now {
+            wake = Some(wake.map_or(rc, |w: u64| w.min(rc)));
+        }
+    };
+    for r in inst.reads() {
+        consider(r);
+    }
+    if let Some(d) = inst.writes() {
+        consider(d);
+    }
+    wake
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

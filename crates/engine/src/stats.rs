@@ -63,6 +63,17 @@ impl CycleBreakdown {
         }
     }
 
+    /// Charges `n` cycles to `kind` at once — the bulk path used by the
+    /// event-driven tick when fast-forwarding a quiescent window.
+    pub fn charge_n(&mut self, kind: StallKind, n: u64) {
+        match kind {
+            StallKind::Execution => self.execution += n,
+            StallKind::FrontEnd => self.front_end += n,
+            StallKind::Other => self.other += n,
+            StallKind::Load => self.load += n,
+        }
+    }
+
     /// Total cycles across all categories.
     pub fn total(&self) -> u64 {
         self.execution + self.front_end + self.other + self.load

@@ -219,6 +219,12 @@ impl DynTrace {
     pub fn final_state(&self) -> &ArchState {
         &self.final_state
     }
+
+    /// Consumes the trace, yielding the final architectural state without
+    /// cloning its memory image.
+    pub fn into_final_state(self) -> ArchState {
+        self.final_state
+    }
 }
 
 #[cfg(test)]

@@ -238,6 +238,27 @@ impl FetchUnit {
         now < self.blocked_until
     }
 
+    /// If [`FetchUnit::tick`] at cycle `now` would be a pure no-op (no
+    /// I-cache access, no buffered instruction, no stat change), the
+    /// earliest future cycle at which the passage of time alone could
+    /// change that — `u64::MAX` when only a backend action (a pop after
+    /// a full buffer, a flush) can re-enable fetch. `None` when fetch is
+    /// active at `now`.
+    ///
+    /// This is the fetch unit's wake event for the event-driven tick. A
+    /// full buffer reports `u64::MAX` even while an I-miss is pending,
+    /// because within a quiescent window nothing pops the buffer; the
+    /// first pop ends the window and re-polls.
+    pub fn quiescent_until(&self, now: u64) -> Option<u64> {
+        if self.fetched_halt || self.fetch_pc.is_none() || self.buffer.len() >= self.capacity {
+            return Some(u64::MAX);
+        }
+        if now < self.blocked_until {
+            return Some(self.blocked_until);
+        }
+        None
+    }
+
     /// Pops the oldest instruction (architectural consumption).
     pub fn pop_front(&mut self) -> Option<FetchedInst> {
         let e = self.buffer.pop_front();

@@ -10,7 +10,7 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
-use ff_engine::RetireRing;
+use ff_engine::{RetireRing, TickMode};
 use ff_experiments::{reports, HierKind, ModelKind, Suite};
 use ff_workloads::{Scale, Workload};
 
@@ -155,6 +155,10 @@ pub struct CampaignOptions {
     /// Skip jobs that failed this many consecutive prior runs
     /// (`--quarantine-after N`). `None` disables the ledger entirely.
     pub quarantine_after: Option<u32>,
+    /// How models advance simulated time (`--tick`). Both modes produce
+    /// byte-identical artifacts; polling exists as the reference
+    /// semantics for cross-checking the event-driven fast path.
+    pub tick: TickMode,
     /// Test-only fault injection.
     pub inject: Option<FailureInjection>,
 }
@@ -172,6 +176,7 @@ impl CampaignOptions {
             progress: false,
             sentinels: false,
             quarantine_after: None,
+            tick: TickMode::default(),
             inject: None,
         }
     }
@@ -281,8 +286,9 @@ fn compute_artifact(
             if let Some(budget) = opts.cycle_budget {
                 case = case.with_cycle_budget(budget);
             }
+            let mut m = Suite::build_model(*model, *hier);
+            m.set_tick_mode(opts.tick);
             let outcome = if opts.sentinels {
-                let mut m = Suite::build_model(*model, *hier);
                 let report = ff_sentinel::check_model_hooked(m.as_mut(), &case, &mut debris.ring);
                 if !report.violations.is_empty() {
                     debris.violations = report.violations.iter().map(|v| v.to_string()).collect();
@@ -297,7 +303,7 @@ fn compute_artifact(
                 }
                 report.outcome
             } else {
-                Suite::execute_case_hooked(*model, *hier, &case, &mut debris.ring)
+                m.try_run_hooked(&case, &mut debris.ring)
             };
             match outcome {
                 Ok(result) => Ok(render_sim_artifact(spec, &result)),

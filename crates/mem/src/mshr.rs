@@ -159,6 +159,15 @@ impl MshrFile {
     pub fn peak_occupancy(&self) -> usize {
         self.peak_occupancy
     }
+
+    /// The earliest cycle after `now` at which an in-flight miss fills,
+    /// or `None` when nothing is outstanding — the MSHR file's wake event
+    /// for the event-driven tick. A fill both delivers a value (waking
+    /// merged requesters) and frees a slot (unblocking `Full` retries),
+    /// so fast-forwarded windows never skip past one.
+    pub fn next_fill_at(&self, now: u64) -> Option<u64> {
+        self.entries.iter().map(|&(_, done)| done).filter(|&d| d > now).min()
+    }
 }
 
 #[cfg(test)]

@@ -183,6 +183,14 @@ impl MemorySystem {
         &self.mshrs
     }
 
+    /// The earliest cycle after `now` at which an outstanding miss fills
+    /// (see [`MshrFile::next_fill_at`]), or `u64::MAX` when none is in
+    /// flight. Event-driven models include this in every quiescent
+    /// window's wake set so a fast-forward never skips past a fill.
+    pub fn next_mshr_fill(&self, now: u64) -> u64 {
+        self.mshrs.next_fill_at(now).unwrap_or(u64::MAX)
+    }
+
     /// Would a data access to `addr` at cycle `now` be served by the L1D
     /// with the data already present (a true L1 hit, not a merge with an
     /// in-flight miss)? Used by the multipass WAW policy of §3.5: advance

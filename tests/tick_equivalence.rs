@@ -1,0 +1,217 @@
+//! Tick-mode equivalence: the event-driven scheduler must be a pure
+//! simulator-throughput optimization. For every execution model and every
+//! workload, a run with [`TickMode::EventDriven`] must be bit-for-bit
+//! identical to the reference [`TickMode::Polling`] run — same statistics,
+//! same activity counters, same memory counters, same final state, same
+//! retirement stream, same probe observation stream, and byte-identical
+//! campaign artifacts.
+
+use std::fmt::Write as _;
+
+use flea_flicker::baselines::{InOrder, OutOfOrder, Runahead};
+use flea_flicker::engine::probe::{AscForwardObs, CycleObs, MemAccessObs, PipelineProbe};
+use flea_flicker::engine::{
+    ExecutionModel, MachineConfig, RetireEvent, RetireHook, RunResult, SimCase, TickMode,
+};
+use flea_flicker::harness::artifact::render_sim_artifact;
+use flea_flicker::harness::JobSpec;
+use flea_flicker::isa::Reg;
+use flea_flicker::multipass::{Multipass, MultipassConfig};
+use flea_flicker::workloads::{Scale, Workload};
+
+fn models(machine: MachineConfig) -> Vec<(&'static str, Box<dyn ExecutionModel>)> {
+    vec![
+        ("inorder", Box::new(InOrder::new(machine))),
+        ("runahead", Box::new(Runahead::new(machine))),
+        ("ooo", Box::new(OutOfOrder::new(machine))),
+        ("ooo-realistic", Box::new(OutOfOrder::realistic(machine))),
+        ("multipass", Box::new(Multipass::new(machine))),
+        (
+            "multipass-noregroup",
+            Box::new(Multipass::with_config(MultipassConfig::without_regrouping(machine))),
+        ),
+        (
+            "multipass-norestart",
+            Box::new(Multipass::with_config(MultipassConfig::without_restart(machine))),
+        ),
+    ]
+}
+
+/// Records the entire retirement stream as rendered lines, so two runs can
+/// be compared event-for-event with a readable diff on mismatch.
+#[derive(Default)]
+struct StreamHook {
+    lines: Vec<String>,
+}
+
+impl RetireHook for StreamHook {
+    fn on_retire(&mut self, event: &RetireEvent<'_>) {
+        self.lines.push(event.to_string());
+    }
+}
+
+fn run_with(
+    model: &mut dyn ExecutionModel,
+    case: &SimCase<'_>,
+    tick: TickMode,
+) -> (RunResult, Vec<String>) {
+    model.set_tick_mode(tick);
+    let mut hook = StreamHook::default();
+    let result = model.run_hooked(case, &mut hook);
+    (result, hook.lines)
+}
+
+fn first_diff(a: &[String], b: &[String]) -> String {
+    for (i, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+        if x != y {
+            return format!("first divergence at event {i}:\n  polling: {x}\n  event:   {y}");
+        }
+    }
+    format!("stream lengths differ: polling={} event={}", a.len(), b.len())
+}
+
+/// The acceptance grid: every model x every benchmark, event-driven runs
+/// must reproduce the polling runs' results, retirement streams, and
+/// rendered campaign artifacts byte for byte.
+#[test]
+fn event_driven_matches_polling_on_every_grid_point() {
+    let machine = MachineConfig::itanium2_base();
+    for w in Workload::all(Scale::Test) {
+        let case = SimCase::new(&w.program, w.mem.clone());
+        for (name, mut model) in models(machine) {
+            let (polled, polled_stream) = run_with(&mut *model, &case, TickMode::Polling);
+            let (event, event_stream) = run_with(&mut *model, &case, TickMode::EventDriven);
+            let at = format!("{name} on {}", w.name);
+            assert_eq!(polled.stats, event.stats, "stats diverge: {at}");
+            assert_eq!(polled.activity, event.activity, "activity diverges: {at}");
+            assert_eq!(polled.mem_stats, event.mem_stats, "mem stats diverge: {at}");
+            assert!(
+                polled.final_state.semantically_eq(&event.final_state),
+                "final state diverges: {at}"
+            );
+            assert!(
+                polled_stream == event_stream,
+                "retirement streams diverge: {at}\n{}",
+                first_diff(&polled_stream, &event_stream)
+            );
+        }
+    }
+}
+
+/// The campaign artifact for a grid point must not depend on the tick
+/// mode: artifacts are content-addressed and compared byte-for-byte by
+/// resume and by cross-run diffing.
+#[test]
+fn artifacts_are_byte_identical_across_tick_modes() {
+    use flea_flicker::experiments::{HierKind, ModelKind};
+    let machine = MachineConfig::itanium2_base();
+    let w = Workload::by_name("mcf", Scale::Test).unwrap();
+    let case = SimCase::new(&w.program, w.mem.clone());
+    for model_kind in ModelKind::ALL {
+        let spec = JobSpec::sim(model_kind, HierKind::Base, "mcf", 0, Scale::Test);
+        let render = |tick| {
+            let mut model = model_kind.build(machine);
+            model.set_tick_mode(tick);
+            render_sim_artifact(&spec, &model.run(&case))
+        };
+        let polled = render(TickMode::Polling);
+        let event = render(TickMode::EventDriven);
+        assert_eq!(polled, event, "artifact bytes diverge for {}", model_kind.name());
+    }
+}
+
+/// Records every observation a sentinel could see, rendered to strings.
+#[derive(Default)]
+struct StreamProbe {
+    lines: Vec<String>,
+}
+
+impl PipelineProbe for StreamProbe {
+    fn on_fetch(&mut self, seq: u64, cycle: u64) {
+        self.lines.push(format!("fetch seq={seq} cy={cycle}"));
+    }
+
+    fn on_issue(&mut self, seq: u64, cycle: u64) {
+        self.lines.push(format!("issue seq={seq} cy={cycle}"));
+    }
+
+    fn on_writeback(&mut self, seq: u64, reg: Reg, cycle: u64) {
+        self.lines.push(format!("wb seq={seq} reg={reg} cy={cycle}"));
+    }
+
+    fn on_retire(&mut self, event: &RetireEvent<'_>) {
+        self.lines.push(format!("retire {event}"));
+    }
+
+    fn on_cycle(&mut self, obs: &CycleObs) {
+        self.lines.push(format!("cycle {obs:?}"));
+    }
+
+    fn on_mem_access(&mut self, obs: &MemAccessObs) {
+        self.lines.push(format!("mem {obs:?}"));
+    }
+
+    fn on_asc_forward(&mut self, obs: &AscForwardObs) {
+        self.lines.push(format!("asc {obs:?}"));
+    }
+
+    fn on_run_end(&mut self, result: &RunResult) {
+        let mut line = String::from("end");
+        let _ = write!(line, " cycles={} retired={}", result.stats.cycles, result.stats.retired);
+        self.lines.push(line);
+    }
+}
+
+/// Regression guard for the quiescence fast-forward: a probed run forces
+/// per-cycle observation, so if the fast-forward ever skipped a cycle with
+/// a pending sentinel-visible event (a CycleObs snapshot, a memory
+/// completion, an ASC forward), the observation streams would diverge.
+#[test]
+fn fast_forward_never_skips_a_probe_visible_event() {
+    let machine = MachineConfig::itanium2_base();
+    for bench in ["mcf", "gap", "art", "equake"] {
+        let w = Workload::by_name(bench, Scale::Test).unwrap();
+        let case = SimCase::new(&w.program, w.mem.clone());
+        let observe = |tick| {
+            let mut model = Multipass::new(machine);
+            model.set_tick_mode(tick);
+            let mut hook = StreamHook::default();
+            let mut probe = StreamProbe::default();
+            model
+                .try_run_probed(&case, &mut hook, &mut probe)
+                .expect("test workloads halt within budget");
+            probe.lines
+        };
+        let polled = observe(TickMode::Polling);
+        let event = observe(TickMode::EventDriven);
+        assert!(
+            polled == event,
+            "probe streams diverge on {bench}\n{}",
+            first_diff(&polled, &event)
+        );
+    }
+}
+
+/// The watchdog path must also be tick-mode independent: when a run is
+/// abandoned at a cycle budget, both modes must report the identical cap
+/// and retirement count (the fast-forward clamps at the budget instead of
+/// warping past it).
+#[test]
+fn cycle_budget_abandonment_is_tick_mode_independent() {
+    let machine = MachineConfig::itanium2_base();
+    let w = Workload::by_name("mcf", Scale::Test).unwrap();
+    for budget in [100, 1_000, 10_000] {
+        let case = SimCase::new(&w.program, w.mem.clone()).with_cycle_budget(budget);
+        for (name, mut model) in models(machine) {
+            model.set_tick_mode(TickMode::Polling);
+            let polled = model.try_run(&case);
+            model.set_tick_mode(TickMode::EventDriven);
+            let event = model.try_run(&case);
+            match (polled, event) {
+                (Ok(p), Ok(e)) => assert_eq!(p.stats, e.stats, "{name} @{budget}"),
+                (Err(p), Err(e)) => assert_eq!(p, e, "{name} @{budget}"),
+                (p, e) => panic!("{name} @{budget}: outcomes diverge: {p:?} vs {e:?}"),
+            }
+        }
+    }
+}
