@@ -175,6 +175,37 @@ pub trait ResultSource {
     fn cycles(&mut self, model: ModelKind, hier: HierKind, bench: &'static str) -> u64 {
         self.result(model, hier, bench).stats.cycles
     }
+
+    /// The result of one *seeded* grid point (workload-generator seed).
+    /// Sources that only hold the canonical grid serve seed 0 and panic on
+    /// anything else; artifact-backed and remote sources override this to
+    /// serve the seed-sensitivity points too.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the seeded grid point cannot be produced.
+    fn result_seeded(
+        &mut self,
+        model: ModelKind,
+        hier: HierKind,
+        bench: &'static str,
+        seed: u64,
+    ) -> &RunResult {
+        assert_eq!(seed, 0, "this ResultSource only serves the canonical seed 0");
+        self.result(model, hier, bench)
+    }
+
+    /// The stored text of a standalone report artifact, for sources that
+    /// keep them (an artifact store or a campaign server). Live sources
+    /// return an error naming the report.
+    ///
+    /// # Errors
+    ///
+    /// When this source does not store report artifacts or the artifact is
+    /// missing/corrupt.
+    fn report_text(&mut self, name: &'static str) -> Result<String, String> {
+        Err(format!("this ResultSource does not store report artifacts (wanted `{name}`)"))
+    }
 }
 
 /// A memoizing simulation driver over the twelve workloads.

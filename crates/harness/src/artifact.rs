@@ -216,6 +216,51 @@ pub fn parse_sim_artifact(spec: &JobSpec, text: &str) -> Result<RunResult, Strin
     })
 }
 
+/// Reconstructs the [`JobSpec`] from an artifact's embedded `job`
+/// descriptor — what lets a client that fetched an artifact by config
+/// hash alone file it under its proper content-addressed name.
+///
+/// # Errors
+///
+/// On a missing/malformed descriptor or a descriptor naming a model,
+/// hierarchy, benchmark, or report this build does not know.
+pub fn spec_from_artifact(text: &str) -> Result<JobSpec, String> {
+    let doc = Json::parse(text)?;
+    let job = doc.get("job").ok_or("artifact missing `job` descriptor")?;
+    let field = |key: &str| {
+        job.get(key).and_then(Json::as_str).ok_or_else(|| format!("job missing `{key}`"))
+    };
+    let scale_str = field("scale")?;
+    let scale =
+        crate::job::parse_scale(scale_str).ok_or_else(|| format!("unknown scale `{scale_str}`"))?;
+    match field("kind")? {
+        "sim" => {
+            let model = ff_experiments::ModelKind::parse(field("model")?)
+                .ok_or_else(|| format!("unknown model `{}`", field("model").unwrap()))?;
+            let hier = ff_experiments::HierKind::parse(field("hier")?)
+                .ok_or_else(|| format!("unknown hier `{}`", field("hier").unwrap()))?;
+            let bench_name = field("bench")?;
+            let bench = ff_workloads::Workload::NAMES
+                .iter()
+                .copied()
+                .find(|b| *b == bench_name)
+                .ok_or_else(|| format!("unknown benchmark `{bench_name}`"))?;
+            let seed = job.get("seed").and_then(Json::as_u64).ok_or("job missing `seed`")?;
+            Ok(JobSpec::sim(model, hier, bench, seed, scale))
+        }
+        "report" => {
+            let report_name = field("name")?;
+            let name = crate::job::REPORT_NAMES
+                .iter()
+                .copied()
+                .find(|n| *n == report_name)
+                .ok_or_else(|| format!("unknown report `{report_name}`"))?;
+            Ok(JobSpec::report(name, scale))
+        }
+        other => Err(format!("unknown job kind `{other}`")),
+    }
+}
+
 /// Parses a report artifact back into its rendered text.
 pub fn parse_report_artifact(spec: &JobSpec, text: &str) -> Result<String, String> {
     let doc = Json::parse(text)?;
@@ -286,6 +331,16 @@ mod tests {
         let body = "=== report ===\nline with \"quotes\" and\ttabs\n";
         let text = render_report_artifact(&spec, body);
         assert_eq!(parse_report_artifact(&spec, &text).unwrap(), body);
+    }
+
+    #[test]
+    fn spec_round_trips_through_the_embedded_descriptor() {
+        let sim = sample_spec();
+        assert_eq!(spec_from_artifact(&render_sim_artifact(&sim, &sample_result())).unwrap(), sim);
+        let report = JobSpec::report("unroll_effect", Scale::Paper);
+        assert_eq!(spec_from_artifact(&render_report_artifact(&report, "body\n")).unwrap(), report);
+        let err = spec_from_artifact("{\"format\": 1}\n").unwrap_err();
+        assert!(err.contains("job"), "{err}");
     }
 
     #[test]

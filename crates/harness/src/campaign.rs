@@ -6,7 +6,7 @@
 
 use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
@@ -21,6 +21,7 @@ use crate::job::{JobKind, JobSpec, REPORT_NAMES};
 use crate::json::Json;
 use crate::pool::run_jobs;
 use crate::quarantine::Quarantine;
+use crate::store::{find_artifact, write_artifact};
 
 /// Extra seeds (beyond the canonical seed 0) the full campaign runs for
 /// the seed-sensitivity study, on the models it compares.
@@ -35,13 +36,17 @@ pub enum JobStatus {
     /// Executed this run and wrote its artifact.
     Ok,
     /// Skipped: a valid artifact with a matching config hash already
-    /// existed (checkpoint/resume).
+    /// existed (checkpoint/resume, or an `ff-server` memoization hit).
     Cached,
     /// All attempts failed; no artifact written.
     Failed,
-    /// Skipped without running: the quarantine ledger shows this job
-    /// failing in `--quarantine-after` consecutive prior runs.
+    /// Skipped without running: the quarantine ledger shows this config
+    /// hash failing in `--quarantine-after` consecutive prior runs.
     Quarantined,
+    /// Not yet executed. Batch campaigns never report this; it appears in
+    /// the checkpoint manifests `ff-server` writes at graceful shutdown
+    /// for jobs still queued or running.
+    Pending,
 }
 
 impl JobStatus {
@@ -52,6 +57,7 @@ impl JobStatus {
             JobStatus::Cached => "cached",
             JobStatus::Failed => "failed",
             JobStatus::Quarantined => "quarantined",
+            JobStatus::Pending => "pending",
         }
     }
 }
@@ -130,6 +136,25 @@ pub struct FailureInjection {
     pub panic: bool,
 }
 
+/// The execution-affecting knobs of one job attempt — everything that
+/// changes *how* a simulation runs but not *what* it computes. Shared by
+/// the batch runner ([`run_campaign`]) and the `ff-server` workers, so a
+/// served artifact is byte-identical to a CLI-produced one by
+/// construction: both call [`attempt_job`] with the same `ExecOptions`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ExecOptions {
+    /// Per-job watchdog: abort a simulation after this many cycles and
+    /// mark it `failed: timeout` instead of hanging the campaign.
+    pub cycle_budget: Option<u64>,
+    /// Run every simulation under the full `ff-sentinel` invariant
+    /// checker set; a violation fails the job as `invariant-violation`.
+    pub sentinels: bool,
+    /// How models advance simulated time. Both modes produce
+    /// byte-identical artifacts; polling exists as the reference
+    /// semantics for cross-checking the event-driven fast path.
+    pub tick: TickMode,
+}
+
 /// Options for one campaign run.
 #[derive(Clone, Debug)]
 pub struct CampaignOptions {
@@ -179,6 +204,11 @@ impl CampaignOptions {
             tick: TickMode::default(),
             inject: None,
         }
+    }
+
+    /// The execution-affecting subset of these options.
+    pub fn exec(&self) -> ExecOptions {
+        ExecOptions { cycle_budget: self.cycle_budget, sentinels: self.sentinels, tick: self.tick }
     }
 }
 
@@ -251,9 +281,23 @@ impl JobFilter {
 
 /// Per-worker state: a lazily generated workload cache, so a worker
 /// generates each (bench, seed) workload once no matter how many grid
-/// points reuse it.
-struct WorkerState {
+/// points reuse it. Public so `ff-server` workers thread one through
+/// [`attempt_job`] exactly like the batch pool does.
+pub struct JobContext {
     workloads: BTreeMap<(&'static str, u64), Workload>,
+}
+
+impl JobContext {
+    /// An empty per-worker context.
+    pub fn new() -> Self {
+        JobContext { workloads: BTreeMap::new() }
+    }
+}
+
+impl Default for JobContext {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 /// What one attempt leaves behind for the crash-bundle writer: the
@@ -270,10 +314,58 @@ impl AttemptDebris {
     }
 }
 
+/// The record of one panic-isolated job attempt: the rendered artifact on
+/// success, a classified [`JobError`] otherwise, plus the crash-bundle
+/// debris (trailing retirements, sentinel violations) of the attempt.
+pub struct Attempt {
+    /// The rendered artifact text, or the classified failure.
+    pub result: Result<String, JobError>,
+    debris: AttemptDebris,
+}
+
+impl Attempt {
+    /// An attempt carrying `result` and no crash-bundle debris, for
+    /// injected executors (scheduler tests, latched fakes) that bypass
+    /// [`attempt_job`].
+    pub fn synthetic(result: Result<String, JobError>) -> Attempt {
+        Attempt { result, debris: AttemptDebris::new() }
+    }
+
+    /// Writes a replayable crash bundle under `out_dir/bundles/` when this
+    /// attempt failed with a cause worth replaying (anything the
+    /// simulation itself produced; transient `Other` errors have nothing
+    /// to replay). Returns the bundle path if one was written.
+    pub fn write_crash_bundle(
+        &self,
+        out_dir: &Path,
+        spec: &JobSpec,
+        cycle_budget: Option<u64>,
+    ) -> Option<PathBuf> {
+        let err = self.result.as_ref().err()?;
+        if err.kind == JobErrorKind::Other {
+            return None;
+        }
+        let bundle = CrashBundle::for_failure(
+            spec,
+            cycle_budget,
+            err,
+            &self.debris.violations,
+            &self.debris.ring,
+        )?;
+        match bundle.write(out_dir) {
+            Ok(path) => Some(path),
+            Err(e) => {
+                eprintln!("warning: could not write crash bundle for {}: {e}", spec.id());
+                None
+            }
+        }
+    }
+}
+
 fn compute_artifact(
-    state: &mut WorkerState,
+    state: &mut JobContext,
     spec: &JobSpec,
-    opts: &CampaignOptions,
+    exec: &ExecOptions,
     debris: &mut AttemptDebris,
 ) -> Result<String, JobError> {
     match &spec.kind {
@@ -283,12 +375,12 @@ fn compute_artifact(
                 Workload::by_name_seeded(bench, scale, *seed).expect("plan uses known benchmarks")
             });
             let mut case = ff_engine::SimCase::new(&w.program, w.mem.clone());
-            if let Some(budget) = opts.cycle_budget {
+            if let Some(budget) = exec.cycle_budget {
                 case = case.with_cycle_budget(budget);
             }
             let mut m = Suite::build_model(*model, *hier);
-            m.set_tick_mode(opts.tick);
-            let outcome = if opts.sentinels {
+            m.set_tick_mode(exec.tick);
+            let outcome = if exec.sentinels {
                 let report = ff_sentinel::check_model_hooked(m.as_mut(), &case, &mut debris.ring);
                 if !report.violations.is_empty() {
                     debris.violations = report.violations.iter().map(|v| v.to_string()).collect();
@@ -321,16 +413,57 @@ fn compute_artifact(
     }
 }
 
-/// Whether a valid, hash-matching artifact for `spec` already exists.
-fn artifact_is_current(opts: &CampaignOptions, spec: &JobSpec) -> bool {
-    let path = opts.out_dir.join(spec.artifact_filename());
+/// Whether a valid, hash-matching artifact for `spec` already exists
+/// (sharded layout or legacy flat fallback).
+pub fn artifact_is_current(out_dir: &Path, spec: &JobSpec) -> bool {
+    let Some(path) = find_artifact(out_dir, spec) else { return false };
     let Ok(text) = std::fs::read_to_string(&path) else { return false };
     let Ok(doc) = Json::parse(&text) else { return false };
     verify_header(spec, &doc).is_ok()
 }
 
-fn run_one(opts: &CampaignOptions, state: &mut WorkerState, spec: &JobSpec) -> JobOutcome {
-    if !opts.force && artifact_is_current(opts, spec) {
+/// One panic-isolated attempt at `spec`: the single code path every
+/// simulation in the repo funnels through, whether scheduled by the
+/// `ff-campaign` batch pool or an `ff-server` worker. A panic inside the
+/// compute closure is caught here and classified as
+/// [`JobErrorKind::Panic`]; the caller's thread never unwinds.
+///
+/// `inject` carries the test-only fault injection together with the
+/// 1-based attempt number (the injection fails the first
+/// [`FailureInjection::times`] attempts).
+pub fn attempt_job(
+    state: &mut JobContext,
+    spec: &JobSpec,
+    exec: &ExecOptions,
+    inject: Option<(&FailureInjection, u32)>,
+) -> Attempt {
+    let mut debris = AttemptDebris::new();
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        // The injection lives inside the unwind boundary so injected
+        // panics exercise the same isolation path as real ones.
+        if let Some((f, attempt)) = inject {
+            if spec.id().contains(&f.id_substring) && attempt <= f.times {
+                if f.panic {
+                    panic!("injected panic (attempt {attempt})");
+                }
+                return Err(JobError::other(format!("injected failure (attempt {attempt})")));
+            }
+        }
+        compute_artifact(state, spec, exec, &mut debris)
+    }))
+    .unwrap_or_else(|payload| {
+        let msg = payload
+            .downcast_ref::<&str>()
+            .map(|s| s.to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "panic with non-string payload".to_string());
+        Err(JobError::panic(msg))
+    });
+    Attempt { result, debris }
+}
+
+fn run_one(opts: &CampaignOptions, state: &mut JobContext, spec: &JobSpec) -> JobOutcome {
+    if !opts.force && artifact_is_current(&opts.out_dir, spec) {
         return JobOutcome {
             spec: spec.clone(),
             status: JobStatus::Cached,
@@ -340,38 +473,19 @@ fn run_one(opts: &CampaignOptions, state: &mut WorkerState, spec: &JobSpec) -> J
         };
     }
     let started = Instant::now();
-    let mut last_err = JobError::other("no attempts made");
+    let exec = opts.exec();
+    let mut last = None;
     let mut attempts = 0;
-    let mut debris = AttemptDebris::new();
     while attempts < opts.attempts.max(1) {
         attempts += 1;
-        debris = AttemptDebris::new();
-        let result = catch_unwind(AssertUnwindSafe(|| {
-            // The injection lives inside the unwind boundary so injected
-            // panics exercise the same isolation path as real ones.
-            if let Some(f) = &opts.inject {
-                if spec.id().contains(&f.id_substring) && attempts <= f.times {
-                    if f.panic {
-                        panic!("injected panic (attempt {attempts})");
-                    }
-                    return Err(JobError::other(format!("injected failure (attempt {attempts})")));
-                }
-            }
-            compute_artifact(state, spec, opts, &mut debris)
-        }))
-        .unwrap_or_else(|payload| {
-            let msg = payload
-                .downcast_ref::<&str>()
-                .map(|s| s.to_string())
-                .or_else(|| payload.downcast_ref::<String>().cloned())
-                .unwrap_or_else(|| "panic with non-string payload".to_string());
-            Err(JobError::panic(msg))
-        });
-        match result {
-            Ok(artifact) => {
-                let path = opts.out_dir.join(spec.artifact_filename());
-                if let Err(e) = std::fs::write(&path, &artifact) {
-                    last_err = JobError::other(format!("write {}: {e}", path.display()));
+        let attempt = attempt_job(state, spec, &exec, opts.inject.as_ref().map(|f| (f, attempts)));
+        match attempt.result {
+            Ok(ref artifact) => {
+                if let Err(e) = write_artifact(&opts.out_dir, spec, artifact) {
+                    last = Some(Attempt {
+                        result: Err(JobError::other(format!("write artifact: {e}"))),
+                        debris: AttemptDebris::new(),
+                    });
                     continue;
                 }
                 return JobOutcome {
@@ -382,25 +496,15 @@ fn run_one(opts: &CampaignOptions, state: &mut WorkerState, spec: &JobSpec) -> J
                     attempts,
                 };
             }
-            Err(e) => last_err = e,
+            Err(_) => last = Some(attempt),
         }
     }
+    let last = last.expect("at least one attempt was made");
     // Terminal failure: leave a replayable crash bundle for any cause the
     // simulation itself produced (a transient injected `Other` from the
     // resume tests has nothing worth replaying).
-    if last_err.kind != JobErrorKind::Other {
-        if let Some(bundle) = CrashBundle::for_failure(
-            spec,
-            opts.cycle_budget,
-            &last_err,
-            &debris.violations,
-            &debris.ring,
-        ) {
-            if let Err(e) = bundle.write(&opts.out_dir) {
-                eprintln!("warning: could not write crash bundle for {}: {e}", spec.id());
-            }
-        }
-    }
+    last.write_crash_bundle(&opts.out_dir, spec, opts.cycle_budget);
+    let last_err = last.result.expect_err("terminal attempt failed");
     JobOutcome {
         spec: spec.clone(),
         status: JobStatus::Failed,
@@ -439,17 +543,17 @@ pub fn run_campaign(jobs: &[JobSpec], opts: &CampaignOptions) -> std::io::Result
     let blocked: Vec<bool> = jobs
         .iter()
         .map(|spec| match (&ledger, opts.quarantine_after) {
-            (Some(q), Some(threshold)) => !opts.force && q.blocks(&spec.id(), threshold),
+            (Some(q), Some(threshold)) => !opts.force && q.blocks(spec, threshold),
             _ => false,
         })
         .collect();
     let raw = run_jobs(
         jobs,
         opts.workers,
-        |_wid| WorkerState { workloads: BTreeMap::new() },
+        |_wid| JobContext::new(),
         |state, i, spec| {
             let outcome = if blocked[i] {
-                let strikes = ledger.as_ref().map_or(0, |q| q.strikes(&spec.id()));
+                let strikes = ledger.as_ref().map_or(0, |q| q.strikes(spec));
                 JobOutcome {
                     spec: spec.clone(),
                     status: JobStatus::Quarantined,
@@ -494,9 +598,9 @@ pub fn run_campaign(jobs: &[JobSpec], opts: &CampaignOptions) -> std::io::Result
     if let (Some(mut q), Some(_)) = (ledger, opts.quarantine_after) {
         for o in &outcomes {
             match o.status {
-                JobStatus::Failed => q.record(&o.spec.id(), true),
-                JobStatus::Ok | JobStatus::Cached => q.record(&o.spec.id(), false),
-                JobStatus::Quarantined => {}
+                JobStatus::Failed => q.record(&o.spec, true),
+                JobStatus::Ok | JobStatus::Cached => q.record(&o.spec, false),
+                JobStatus::Quarantined | JobStatus::Pending => {}
             }
         }
         if let Err(e) = q.save(&opts.out_dir) {

@@ -25,12 +25,23 @@
 //!   error, last retirements) consumable by the `ff-debug` triage flow;
 //! * **reproducible manifests** — `manifest.json` records config hashes,
 //!   seeds, scale, git revision, per-job wall time, and worker count;
+//! * **a sharded, memoizing artifact store** — artifacts are
+//!   content-addressed by config hash and sharded across 256 directories
+//!   by hash prefix ([`store`]), with transparent read-fallback to the
+//!   legacy flat layout and a one-shot `ff-campaign migrate-store`;
 //! * **artifact-backed rendering** — [`store::ArtifactStore`] implements
 //!   [`ff_experiments::ResultSource`], so every figure/table under
 //!   `results/` re-renders from checkpointed artifacts without
-//!   re-simulating ([`render_results::render_all`]).
+//!   re-simulating ([`render_results::render_all`]);
+//! * **a service protocol** — [`remote`] holds the `ff-server` wire
+//!   protocol, a std-only HTTP client, and [`remote::RemoteSource`], a
+//!   [`ff_experiments::ResultSource`] that renders results straight from
+//!   a campaign server's memoization store.
 //!
-//! The `ff-campaign` binary is the CLI front end; see `EXPERIMENTS.md`.
+//! The `ff-campaign` binary is the CLI front end; the long-running
+//! service lives in the `ff-server` crate, which reuses [`attempt_job`]
+//! so a served artifact is byte-identical to a CLI-produced one. See
+//! `EXPERIMENTS.md`.
 //!
 //! Artifacts are byte-deterministic: a `--jobs 4` campaign produces
 //! bit-for-bit the same files as `--jobs 1` (pinned by the
@@ -50,17 +61,19 @@ pub mod json;
 pub mod manifest;
 pub mod pool;
 pub mod quarantine;
+pub mod remote;
 pub mod render_results;
 pub mod store;
 
 pub use bundle::{list_bundles, CrashBundle};
 pub use campaign::{
-    full_grid, run_campaign, CampaignOptions, CampaignReport, FailureInjection, JobFilter,
-    JobOutcome, JobStatus,
+    artifact_is_current, attempt_job, full_grid, run_campaign, Attempt, CampaignOptions,
+    CampaignReport, ExecOptions, FailureInjection, JobContext, JobFilter, JobOutcome, JobStatus,
 };
 pub use error::{JobError, JobErrorKind};
 pub use job::{JobKind, JobSpec, FORMAT_VERSION};
 pub use manifest::{read_manifest, write_manifest, ManifestSummary};
 pub use quarantine::Quarantine;
+pub use remote::{CampaignRequest, CampaignStatus, RemoteSource, ServerUrl};
 pub use render_results::render_all;
-pub use store::ArtifactStore;
+pub use store::{migrate_flat, ArtifactStore, ShardedStore};

@@ -6,6 +6,11 @@
 //! ff-campaign resume --all
 //! ff-campaign list --all --scale paper
 //! ff-campaign status
+//! ff-campaign migrate-store --out results/campaign/test
+//! ff-campaign submit --server http://127.0.0.1:7878 --scale test --wait
+//! ff-campaign status --server http://127.0.0.1:7878 --id c1
+//! ff-campaign fetch  --server http://127.0.0.1:7878 --id c1 --out fetched/
+//! ff-campaign render --server http://127.0.0.1:7878 --scale test
 //! ```
 
 use std::path::PathBuf;
@@ -14,8 +19,16 @@ use std::process::ExitCode;
 use ff_engine::TickMode;
 use ff_experiments::{HierKind, ModelKind, UnknownBenchmark};
 use ff_harness::{
-    full_grid, job::parse_scale, job::scale_name, read_manifest, render_all, run_campaign,
-    write_manifest, ArtifactStore, CampaignOptions, JobFilter, JobSpec,
+    artifact::spec_from_artifact,
+    full_grid,
+    job::parse_scale,
+    job::scale_name,
+    read_manifest,
+    remote::{campaign_status, fetch_artifact, submit_campaign},
+    render_all, run_campaign,
+    store::{migrate_flat, write_artifact},
+    write_manifest, ArtifactStore, CampaignOptions, CampaignRequest, JobFilter, JobSpec,
+    RemoteSource, ServerUrl,
 };
 use ff_workloads::{Scale, Workload};
 
@@ -27,6 +40,17 @@ USAGE:
     ff-campaign resume [OPTIONS]   alias for `run`
     ff-campaign list   [OPTIONS]   print the job plan without running it
     ff-campaign status [--out DIR] summarize the last run's manifest
+    ff-campaign migrate-store [--out DIR]
+                                   move a legacy flat artifact tree into the
+                                   sharded layout (idempotent)
+    ff-campaign submit --server URL [OPTIONS] [--wait]
+                                   submit the plan to a running ff-server
+    ff-campaign status --server URL --id ID
+                                   poll a submitted campaign's status
+    ff-campaign fetch  --server URL (--id ID | --hash H) [--out DIR]
+                                   download artifacts into a local sharded store
+    ff-campaign render --server URL [--scale S] [--results DIR]
+                                   render the results files from a server's store
 
 OPTIONS:
     --all                 the full grid + seed-sensitivity + report jobs (default)
@@ -50,6 +74,11 @@ OPTIONS:
                           retry quarantined jobs
     --no-render           skip rendering the results files after the run
     --quiet               suppress per-job progress lines
+    --server URL          campaign service address (http://host:port) for the
+                          submit/status/fetch/render client commands
+    --id ID               campaign id (from `submit`) for status/fetch
+    --hash HEX            16-hex config hash for `fetch`
+    --wait                after `submit`, poll until the campaign finishes
     --help                this text
 
 Failed simulations leave a replayable crash bundle under <out>/bundles/;
@@ -73,6 +102,10 @@ struct Cli {
     render: bool,
     quiet: bool,
     filter: JobFilter,
+    server: Option<String>,
+    id: Option<String>,
+    hash: Option<String>,
+    wait: bool,
 }
 
 fn usage_err(msg: &str) -> String {
@@ -112,7 +145,10 @@ fn parse_cli(argv: &[String]) -> Result<Cli, String> {
     if cmd.is_empty() || cmd == "--help" || cmd == "-h" || cmd == "help" {
         return Err(USAGE.to_string());
     }
-    if !matches!(cmd.as_str(), "run" | "resume" | "list" | "status") {
+    if !matches!(
+        cmd.as_str(),
+        "run" | "resume" | "list" | "status" | "migrate-store" | "submit" | "fetch" | "render"
+    ) {
         return Err(usage_err(&format!("unknown command `{cmd}`")));
     }
     let mut cli = Cli {
@@ -130,6 +166,10 @@ fn parse_cli(argv: &[String]) -> Result<Cli, String> {
         render: true,
         quiet: false,
         filter: JobFilter::default(),
+        server: None,
+        id: None,
+        hash: None,
+        wait: false,
     };
     let mut it = argv[1..].iter();
     while let Some(arg) = it.next() {
@@ -184,6 +224,10 @@ fn parse_cli(argv: &[String]) -> Result<Cli, String> {
             "--force" => cli.force = true,
             "--no-render" => cli.render = false,
             "--quiet" => cli.quiet = true,
+            "--server" => cli.server = Some(value("--server")?),
+            "--id" => cli.id = Some(value("--id")?),
+            "--hash" => cli.hash = Some(value("--hash")?),
+            "--wait" => cli.wait = true,
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(usage_err(&format!("unknown option `{other}`"))),
         }
@@ -206,6 +250,197 @@ fn cmd_list(cli: &Cli) -> ExitCode {
     }
     eprintln!("{} jobs at {} scale", jobs.len(), scale_name(cli.scale));
     ExitCode::SUCCESS
+}
+
+fn parse_server(cli: &Cli) -> Result<ServerUrl, String> {
+    let raw = cli
+        .server
+        .as_deref()
+        .ok_or_else(|| usage_err("this command needs --server http://host:port"))?;
+    ServerUrl::parse(raw).map_err(|e| usage_err(&e))
+}
+
+fn cmd_migrate_store(cli: &Cli) -> ExitCode {
+    let dir = out_dir(cli);
+    match migrate_flat(&dir) {
+        Ok(moved) => {
+            eprintln!("ff-campaign: moved {moved} artifacts into shards under {}", dir.display());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("ff-campaign: migrate-store {}: {e}", dir.display());
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_remote_status(status: &ff_harness::CampaignStatus) {
+    let counts: Vec<String> = status.counts.iter().map(|(k, v)| format!("{v} {k}")).collect();
+    eprintln!(
+        "campaign {} ({} scale): {}{}",
+        status.id,
+        status.scale,
+        if counts.is_empty() { "no jobs".to_string() } else { counts.join(", ") },
+        if status.done { " [done]" } else { "" },
+    );
+    for j in status.failed() {
+        eprintln!("  failed: {} ({})", j.id, j.error.as_deref().unwrap_or("unknown"));
+    }
+}
+
+fn cmd_submit(cli: &Cli) -> ExitCode {
+    let url = match parse_server(cli) {
+        Ok(u) => u,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    // Mirror `run`: report jobs ride along only with an unconstrained
+    // filter, so a submitted plan matches a local `run` plan exactly.
+    let req = CampaignRequest {
+        scale: cli.scale,
+        filter: cli.filter.clone(),
+        reports: cli.filter.is_empty(),
+    };
+    let (id, total) = match submit_campaign(&url, &req) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("ff-campaign: submit: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("{id}");
+    eprintln!("ff-campaign: submitted campaign {id} ({total} jobs) to {url}");
+    if !cli.wait {
+        return ExitCode::SUCCESS;
+    }
+    loop {
+        match campaign_status(&url, &id) {
+            Ok(status) if status.done => {
+                print_remote_status(&status);
+                let failed = status.counts.get("failed").copied().unwrap_or(0)
+                    + status.counts.get("quarantined").copied().unwrap_or(0);
+                return if failed > 0 { ExitCode::FAILURE } else { ExitCode::SUCCESS };
+            }
+            Ok(_) => std::thread::sleep(std::time::Duration::from_millis(200)),
+            Err(e) => {
+                eprintln!("ff-campaign: status {id}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+}
+
+fn cmd_remote_status(cli: &Cli) -> ExitCode {
+    let url = match parse_server(cli) {
+        Ok(u) => u,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    let Some(id) = cli.id.as_deref() else {
+        eprintln!("{}", usage_err("status --server needs --id"));
+        return ExitCode::from(2);
+    };
+    match campaign_status(&url, id) {
+        Ok(status) => {
+            print_remote_status(&status);
+            if status.done && status.failed().is_empty() {
+                ExitCode::SUCCESS
+            } else if status.done {
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        Err(e) => {
+            eprintln!("ff-campaign: status {id}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Downloads one artifact and files it into the local sharded store under
+/// its proper content-addressed name (reconstructed from the embedded job
+/// descriptor).
+fn fetch_one(url: &ServerUrl, dir: &std::path::Path, hash: &str) -> Result<PathBuf, String> {
+    let text = fetch_artifact(url, hash)?;
+    let spec = spec_from_artifact(&text).map_err(|e| format!("artifact {hash}: {e}"))?;
+    write_artifact(dir, &spec, &text).map_err(|e| format!("write artifact {hash}: {e}"))
+}
+
+fn cmd_fetch(cli: &Cli) -> ExitCode {
+    let url = match parse_server(cli) {
+        Ok(u) => u,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    let dir = out_dir(cli);
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("ff-campaign: create {}: {e}", dir.display());
+        return ExitCode::FAILURE;
+    }
+    let hashes: Vec<String> = if let Some(hash) = cli.hash.as_deref() {
+        vec![hash.to_string()]
+    } else if let Some(id) = cli.id.as_deref() {
+        match campaign_status(&url, id) {
+            Ok(status) => status
+                .jobs
+                .iter()
+                .filter(|j| matches!(j.status.as_str(), "ok" | "hit" | "dedup" | "cached"))
+                .map(|j| j.hash.clone())
+                .collect(),
+            Err(e) => {
+                eprintln!("ff-campaign: status {id}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        eprintln!("{}", usage_err("fetch needs --hash HEX or --id ID"));
+        return ExitCode::from(2);
+    };
+    let mut fetched = 0usize;
+    for hash in &hashes {
+        match fetch_one(&url, &dir, hash) {
+            Ok(path) => {
+                fetched += 1;
+                if !cli.quiet {
+                    eprintln!("fetched {hash} -> {}", path.display());
+                }
+            }
+            Err(e) => {
+                eprintln!("ff-campaign: fetch: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    eprintln!("ff-campaign: fetched {fetched} artifacts into {}", dir.display());
+    ExitCode::SUCCESS
+}
+
+fn cmd_remote_render(cli: &Cli) -> ExitCode {
+    let url = match parse_server(cli) {
+        Ok(u) => u,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut source = RemoteSource::new(url, cli.scale);
+    match render_all(&mut source, cli.scale, &cli.results, 0.0) {
+        Ok(written) => {
+            eprintln!("ff-campaign: rendered {} results files from the server", written.len());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("ff-campaign: rendering from server: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 fn cmd_status(cli: &Cli) -> ExitCode {
@@ -298,7 +533,7 @@ fn cmd_run(cli: &Cli) -> ExitCode {
     // artifacts but cannot regenerate the aggregate results files.
     if cli.render && cli.filter.is_empty() {
         let mut store = ArtifactStore::new(&dir, cli.scale);
-        match render_all(&mut store, &cli.results, report.wall_s) {
+        match render_all(&mut store, cli.scale, &cli.results, report.wall_s) {
             Ok(written) => {
                 if !cli.quiet {
                     eprintln!("ff-campaign: rendered {} results files", written.len());
@@ -327,7 +562,12 @@ fn main() -> ExitCode {
     match cli.cmd.as_str() {
         "run" | "resume" => cmd_run(&cli),
         "list" => cmd_list(&cli),
+        "status" if cli.server.is_some() => cmd_remote_status(&cli),
         "status" => cmd_status(&cli),
+        "migrate-store" => cmd_migrate_store(&cli),
+        "submit" => cmd_submit(&cli),
+        "fetch" => cmd_fetch(&cli),
+        "render" => cmd_remote_render(&cli),
         _ => unreachable!("parse_cli validated the command"),
     }
 }

@@ -3,24 +3,47 @@
 //! A config that fails every campaign run (a genuinely wedged grid point,
 //! a panic-inducing model bug) would otherwise burn its full watchdog
 //! budget on every resume. With `--quarantine-after N`, the campaign
-//! keeps a `quarantine.json` ledger of *consecutive* failed runs per job
-//! id; a job at or past the threshold is skipped as
+//! keeps a `quarantine.json` ledger of *consecutive* failed runs per
+//! **config hash**; a config at or past the threshold is skipped as
 //! [`crate::JobStatus::Quarantined`] instead of executed. Any successful
-//! (or cached) run clears a job's strikes, and `--force` bypasses the
+//! (or cached) run clears a config's strikes, and `--force` bypasses the
 //! quarantine to give a fixed config its retrial.
+//!
+//! Keying by config hash (not by per-campaign job index or id string)
+//! makes the ledger multi-tenant: when several campaigns share one
+//! artifact store — the `ff-server` case — a config quarantined by one
+//! campaign is skipped, and reported as quarantined rather than failed,
+//! when any other campaign resubmits the same grid point.
 
 use std::collections::BTreeMap;
 use std::path::Path;
 
+use crate::job::JobSpec;
 use crate::json::Json;
 
 /// The ledger file name inside the campaign output directory.
 pub const QUARANTINE_NAME: &str = "quarantine.json";
 
-/// Consecutive-failure strikes per job id, persisted across campaign runs.
+/// The ledger format version. Version 1 keyed strikes by job-id string;
+/// version 2 keys them by config hash. A v1 ledger loads as empty (the
+/// ledger is advisory and degrades gracefully; at worst a previously
+/// quarantined config gets one more trial).
+pub const QUARANTINE_FORMAT: u64 = 2;
+
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+struct Entry {
+    strikes: u64,
+    /// Human-readable job id of the last recorded failure, kept so
+    /// operators can read the ledger without reverse-hashing.
+    id: String,
+}
+
+/// Consecutive-failure strikes per config hash, persisted across campaign
+/// runs (and across campaigns: any campaign touching the same store sees
+/// the same ledger).
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Quarantine {
-    strikes: BTreeMap<String, u64>,
+    strikes: BTreeMap<u64, Entry>,
 }
 
 impl Quarantine {
@@ -29,8 +52,9 @@ impl Quarantine {
         Self::default()
     }
 
-    /// Loads the ledger from `dir`. A missing or corrupt file is an empty
-    /// ledger — quarantine degrades gracefully, it never blocks a run.
+    /// Loads the ledger from `dir`. A missing, corrupt, or pre-v2 file is
+    /// an empty ledger — quarantine degrades gracefully, it never blocks
+    /// a run.
     pub fn load(dir: &Path) -> Quarantine {
         let Ok(text) = std::fs::read_to_string(dir.join(QUARANTINE_NAME)) else {
             return Quarantine::new();
@@ -38,35 +62,46 @@ impl Quarantine {
         let Ok(doc) = Json::parse(&text) else {
             return Quarantine::new();
         };
+        if doc.get("format").and_then(Json::as_u64) != Some(QUARANTINE_FORMAT) {
+            return Quarantine::new();
+        }
         let mut strikes = BTreeMap::new();
         if let Some(Json::Obj(pairs)) = doc.get("strikes") {
-            for (id, count) in pairs {
-                if let Some(n) = count.as_u64() {
-                    strikes.insert(id.clone(), n);
-                }
+            for (hash_hex, entry) in pairs {
+                let Ok(hash) = u64::from_str_radix(hash_hex, 16) else { continue };
+                let Some(n) = entry.get("strikes").and_then(Json::as_u64) else { continue };
+                let id = entry.get("id").and_then(Json::as_str).unwrap_or("").to_string();
+                strikes.insert(hash, Entry { strikes: n, id });
             }
         }
         Quarantine { strikes }
     }
 
-    /// Consecutive failed runs recorded for `id`.
-    pub fn strikes(&self, id: &str) -> u64 {
-        self.strikes.get(id).copied().unwrap_or(0)
+    /// Consecutive failed runs recorded for `spec`'s config hash.
+    pub fn strikes(&self, spec: &JobSpec) -> u64 {
+        self.strikes_for_hash(spec.config_hash())
     }
 
-    /// Whether `id` has accumulated at least `threshold` consecutive
-    /// failures and should be skipped.
-    pub fn blocks(&self, id: &str, threshold: u32) -> bool {
-        self.strikes(id) >= u64::from(threshold.max(1))
+    /// Consecutive failed runs recorded for a raw config hash.
+    pub fn strikes_for_hash(&self, hash: u64) -> u64 {
+        self.strikes.get(&hash).map_or(0, |e| e.strikes)
     }
 
-    /// Records one run of `id`: a failure adds a strike, anything else
+    /// Whether `spec`'s config has accumulated at least `threshold`
+    /// consecutive failures and should be skipped.
+    pub fn blocks(&self, spec: &JobSpec, threshold: u32) -> bool {
+        self.strikes(spec) >= u64::from(threshold.max(1))
+    }
+
+    /// Records one run of `spec`: a failure adds a strike, anything else
     /// clears them.
-    pub fn record(&mut self, id: &str, failed: bool) {
+    pub fn record(&mut self, spec: &JobSpec, failed: bool) {
         if failed {
-            *self.strikes.entry(id.to_string()).or_insert(0) += 1;
+            let entry = self.strikes.entry(spec.config_hash()).or_default();
+            entry.strikes += 1;
+            entry.id = spec.id();
         } else {
-            self.strikes.remove(id);
+            self.strikes.remove(&spec.config_hash());
         }
     }
 
@@ -76,9 +111,23 @@ impl Quarantine {
     ///
     /// On failure to write the file.
     pub fn save(&self, dir: &Path) -> std::io::Result<()> {
-        let pairs: Vec<(String, Json)> =
-            self.strikes.iter().map(|(id, n)| (id.clone(), Json::U64(*n))).collect();
-        let doc = Json::obj(vec![("format", Json::U64(1)), ("strikes", Json::Obj(pairs))]);
+        let pairs: Vec<(String, Json)> = self
+            .strikes
+            .iter()
+            .map(|(hash, e)| {
+                (
+                    format!("{hash:016x}"),
+                    Json::obj(vec![
+                        ("strikes", Json::U64(e.strikes)),
+                        ("id", Json::Str(e.id.clone())),
+                    ]),
+                )
+            })
+            .collect();
+        let doc = Json::obj(vec![
+            ("format", Json::U64(QUARANTINE_FORMAT)),
+            ("strikes", Json::Obj(pairs)),
+        ]);
         std::fs::write(dir.join(QUARANTINE_NAME), doc.render())
     }
 }
@@ -86,20 +135,42 @@ impl Quarantine {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ff_experiments::{HierKind, ModelKind};
+    use ff_workloads::Scale;
+
+    fn spec(bench: &'static str) -> JobSpec {
+        JobSpec::sim(ModelKind::Multipass, HierKind::Base, bench, 0, Scale::Test)
+    }
 
     #[test]
     fn strikes_accumulate_and_clear() {
         let mut q = Quarantine::new();
-        q.record("a", true);
-        q.record("a", true);
-        q.record("b", true);
-        assert_eq!(q.strikes("a"), 2);
-        assert!(q.blocks("a", 2));
-        assert!(!q.blocks("a", 3));
-        assert!(!q.blocks("b", 2));
-        q.record("a", false);
-        assert_eq!(q.strikes("a"), 0);
-        assert!(!q.blocks("a", 1));
+        let a = spec("mcf");
+        let b = spec("gzip");
+        q.record(&a, true);
+        q.record(&a, true);
+        q.record(&b, true);
+        assert_eq!(q.strikes(&a), 2);
+        assert!(q.blocks(&a, 2));
+        assert!(!q.blocks(&a, 3));
+        assert!(!q.blocks(&b, 2));
+        q.record(&a, false);
+        assert_eq!(q.strikes(&a), 0);
+        assert!(!q.blocks(&a, 1));
+    }
+
+    #[test]
+    fn keyed_by_config_hash_not_campaign_position() {
+        // The same grid point submitted by two different campaigns (any
+        // job index, any plan order) shares one strike counter.
+        let mut q = Quarantine::new();
+        let campaign_one_job_7 = spec("mcf");
+        let campaign_two_job_0 =
+            JobSpec::sim(ModelKind::Multipass, HierKind::Base, "mcf", 0, Scale::Test);
+        q.record(&campaign_one_job_7, true);
+        q.record(&campaign_one_job_7, true);
+        assert!(q.blocks(&campaign_two_job_0, 2), "hash-keyed strikes must cross campaigns");
+        assert_eq!(q.strikes_for_hash(campaign_two_job_0.config_hash()), 2);
     }
 
     #[test]
@@ -108,21 +179,28 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir);
         std::fs::create_dir_all(&dir).unwrap();
         let mut q = Quarantine::new();
-        q.record("mcf/MP/base/s0@test", true);
-        q.record("mcf/MP/base/s0@test", true);
+        q.record(&spec("mcf"), true);
+        q.record(&spec("mcf"), true);
         q.save(&dir).unwrap();
         let back = Quarantine::load(&dir);
         assert_eq!(back, q);
+        // The persisted form names the offender for human readers.
+        let text = std::fs::read_to_string(dir.join(QUARANTINE_NAME)).unwrap();
+        assert!(text.contains("mcf/MP/base/s0@test"), "{text}");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
-    fn missing_or_corrupt_ledger_is_empty() {
+    fn missing_corrupt_or_v1_ledger_is_empty() {
         let dir = std::env::temp_dir().join(format!("ff-quarantine-bad-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         std::fs::create_dir_all(&dir).unwrap();
         assert_eq!(Quarantine::load(&dir), Quarantine::new());
         std::fs::write(dir.join(QUARANTINE_NAME), "not json").unwrap();
+        assert_eq!(Quarantine::load(&dir), Quarantine::new());
+        // A v1 (id-keyed) ledger loads as empty rather than mis-keying.
+        let v1 = "{\n  \"format\": 1,\n  \"strikes\": {\n    \"mcf/MP/base/s0@test\": 3\n  }\n}\n";
+        std::fs::write(dir.join(QUARANTINE_NAME), v1).unwrap();
         assert_eq!(Quarantine::load(&dir), Quarantine::new());
         std::fs::remove_dir_all(&dir).unwrap();
     }

@@ -1,13 +1,31 @@
-//! Read side of the campaign checkpoint: an artifact directory as a
-//! [`ResultSource`].
+//! The sharded, memoizing artifact store.
 //!
-//! The figure/table experiments in `ff-experiments` are written against
-//! [`ResultSource`], so pointing them at an [`ArtifactStore`] renders the
-//! same reports from checkpointed artifacts that `Suite` renders from live
-//! simulations — without re-running anything.
+//! Artifacts are content-addressed by [`JobSpec::config_hash`] and laid
+//! out in 256 shard directories named by the hash's first two hex chars
+//! (`<root>/ab/sim-…-ab12….json`), so a long-running service never puts
+//! millions of files in one directory and per-shard locks never contend
+//! across shards. Pre-sharding `results/` trees keep working: every read
+//! falls back to the legacy flat layout, and `ff-campaign migrate-store`
+//! moves a flat tree into shards in one shot.
+//!
+//! Two layers live here:
+//!
+//! * free functions ([`find_artifact`], [`write_artifact`],
+//!   [`find_by_hash`], [`migrate_flat`]) — the layout rules, used by the
+//!   batch campaign runner;
+//! * [`ShardedStore`] — the same layout behind per-shard mutexes, used by
+//!   `ff-server` as a process-wide memoization cache shared by every
+//!   campaign and client (writes are tmp-file + atomic rename, so readers
+//!   never observe a torn artifact);
+//! * [`ArtifactStore`] — the read side: an artifact directory as a
+//!   [`ResultSource`], so the figure/table experiments in
+//!   `ff-experiments` render the same reports from checkpointed artifacts
+//!   that `Suite` renders from live simulations.
 
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 use ff_engine::RunResult;
 use ff_experiments::{HierKind, ModelKind, ResultSource};
@@ -15,6 +33,192 @@ use ff_workloads::{Scale, Workload};
 
 use crate::artifact::{parse_report_artifact, parse_sim_artifact};
 use crate::job::JobSpec;
+
+/// Number of shard directories (two hex chars of the config hash).
+pub const SHARD_COUNT: usize = 256;
+
+/// The shard directory name (`"00"`..`"ff"`) for a config hash: the top
+/// byte, i.e. the first two hex chars of the filename-embedded hash.
+pub fn shard_name(hash: u64) -> String {
+    format!("{:02x}", (hash >> 56) as u8)
+}
+
+/// The artifact path for `spec` in the sharded layout (where new
+/// artifacts are written).
+pub fn sharded_path(root: &Path, spec: &JobSpec) -> PathBuf {
+    root.join(shard_name(spec.config_hash())).join(spec.artifact_filename())
+}
+
+/// The artifact path for `spec` in the legacy flat layout (read-only
+/// fallback for pre-sharding `results/` trees).
+pub fn flat_path(root: &Path, spec: &JobSpec) -> PathBuf {
+    root.join(spec.artifact_filename())
+}
+
+/// Finds an existing artifact for `spec`: the sharded layout first, then
+/// the legacy flat layout.
+pub fn find_artifact(root: &Path, spec: &JobSpec) -> Option<PathBuf> {
+    let sharded = sharded_path(root, spec);
+    if sharded.is_file() {
+        return Some(sharded);
+    }
+    let flat = flat_path(root, spec);
+    if flat.is_file() {
+        return Some(flat);
+    }
+    None
+}
+
+/// Finds an artifact by config hash alone (the `GET /jobs/{hash}` lookup):
+/// scans the hash's shard directory, then the flat root, for a file whose
+/// name ends in `-{hash:016x}.json`.
+pub fn find_by_hash(root: &Path, hash: u64) -> Option<PathBuf> {
+    let suffix = format!("-{hash:016x}.json");
+    for dir in [root.join(shard_name(hash)), root.to_path_buf()] {
+        let Ok(entries) = std::fs::read_dir(&dir) else { continue };
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if name.ends_with(&suffix) && entry.path().is_file() {
+                return Some(entry.path());
+            }
+        }
+    }
+    None
+}
+
+static TMP_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// Writes `text` as the artifact for `spec` in the sharded layout,
+/// atomically: the bytes land in a temp file in the destination shard and
+/// are renamed over the final name, so a concurrent reader sees either no
+/// artifact or a complete one, never a torn write.
+///
+/// # Errors
+///
+/// On failure to create the shard directory or write/rename the file.
+pub fn write_artifact(root: &Path, spec: &JobSpec, text: &str) -> std::io::Result<PathBuf> {
+    let path = sharded_path(root, spec);
+    let shard = path.parent().expect("sharded path has a parent");
+    std::fs::create_dir_all(shard)?;
+    let tmp = shard.join(format!(
+        ".tmp-{}-{}-{}",
+        std::process::id(),
+        TMP_COUNTER.fetch_add(1, Ordering::Relaxed),
+        spec.artifact_filename(),
+    ));
+    std::fs::write(&tmp, text)?;
+    std::fs::rename(&tmp, &path)?;
+    Ok(path)
+}
+
+/// Whether a file name looks like an artifact (`sim-…-{16 hex}.json` or
+/// `report-…-{16 hex}.json`), returning its embedded config hash.
+fn artifact_hash_of(name: &str) -> Option<u64> {
+    if !name.starts_with("sim-") && !name.starts_with("report-") {
+        return None;
+    }
+    let stem = name.strip_suffix(".json")?;
+    let (_, hex) = stem.rsplit_once('-')?;
+    if hex.len() != 16 {
+        return None;
+    }
+    u64::from_str_radix(hex, 16).ok()
+}
+
+/// Migrates a legacy flat artifact tree into the sharded layout: every
+/// `sim-*.json` / `report-*.json` directly under `root` moves into its
+/// hash's shard directory. Non-artifact files (`manifest.json`,
+/// `quarantine.json`, `bundles/`) stay put. Returns the number of files
+/// moved. Idempotent: a second run moves nothing.
+///
+/// # Errors
+///
+/// On a filesystem error while scanning or moving.
+pub fn migrate_flat(root: &Path) -> std::io::Result<usize> {
+    let mut moved = 0;
+    for entry in std::fs::read_dir(root)? {
+        let entry = entry?;
+        if !entry.path().is_file() {
+            continue;
+        }
+        let name = entry.file_name();
+        let name = name.to_string_lossy().into_owned();
+        let Some(hash) = artifact_hash_of(&name) else { continue };
+        let shard = root.join(shard_name(hash));
+        std::fs::create_dir_all(&shard)?;
+        std::fs::rename(entry.path(), shard.join(&name))?;
+        moved += 1;
+    }
+    Ok(moved)
+}
+
+/// The sharded artifact layout behind per-shard mutexes: the write side
+/// of the `ff-server` global memoization cache. Lookups and publishes for
+/// the same shard serialize; different shards never contend. (In-flight
+/// deduplication — two concurrent requests for the same hash simulating
+/// once — is the scheduler's job; the store guarantees only that a
+/// published artifact is complete and that a lookup racing a publish sees
+/// one or the other.)
+pub struct ShardedStore {
+    root: PathBuf,
+    locks: Vec<Mutex<()>>,
+}
+
+impl ShardedStore {
+    /// Opens (creating if needed) the store rooted at `root`.
+    ///
+    /// # Errors
+    ///
+    /// On failure to create the root directory.
+    pub fn open(root: impl Into<PathBuf>) -> std::io::Result<Self> {
+        let root = root.into();
+        std::fs::create_dir_all(&root)?;
+        Ok(ShardedStore { root, locks: (0..SHARD_COUNT).map(|_| Mutex::new(())).collect() })
+    }
+
+    /// The store's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn lock(&self, hash: u64) -> std::sync::MutexGuard<'_, ()> {
+        let guard = self.locks[(hash >> 56) as usize].lock();
+        // A poisoned shard lock only means another thread panicked while
+        // holding it; the layout itself is rename-atomic, so proceed.
+        guard.unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Whether an artifact for `spec` exists (sharded or legacy flat).
+    pub fn contains(&self, spec: &JobSpec) -> bool {
+        let _guard = self.lock(spec.config_hash());
+        find_artifact(&self.root, spec).is_some()
+    }
+
+    /// Reads the artifact for `spec`, if present.
+    pub fn read(&self, spec: &JobSpec) -> Option<String> {
+        let _guard = self.lock(spec.config_hash());
+        let path = find_artifact(&self.root, spec)?;
+        std::fs::read_to_string(path).ok()
+    }
+
+    /// Reads an artifact by config hash alone.
+    pub fn read_by_hash(&self, hash: u64) -> Option<String> {
+        let _guard = self.lock(hash);
+        let path = find_by_hash(&self.root, hash)?;
+        std::fs::read_to_string(path).ok()
+    }
+
+    /// Publishes `text` as the artifact for `spec` (atomic rename).
+    ///
+    /// # Errors
+    ///
+    /// On a filesystem error.
+    pub fn publish(&self, spec: &JobSpec, text: &str) -> std::io::Result<PathBuf> {
+        let _guard = self.lock(spec.config_hash());
+        write_artifact(&self.root, spec, text)
+    }
+}
 
 /// A campaign artifact directory, memoized per grid point.
 pub struct ArtifactStore {
@@ -34,14 +238,15 @@ impl ArtifactStore {
         self.scale
     }
 
-    /// The artifact path for `spec` inside this store.
+    /// The preferred (sharded) artifact path for `spec` inside this store.
     pub fn path_for(&self, spec: &JobSpec) -> PathBuf {
-        self.dir.join(spec.artifact_filename())
+        sharded_path(&self.dir, spec)
     }
 
-    /// Whether a (content-address-matching) artifact exists for `spec`.
+    /// Whether a (content-address-matching) artifact exists for `spec`,
+    /// in the sharded layout or the legacy flat one.
     pub fn contains(&self, spec: &JobSpec) -> bool {
-        self.path_for(spec).is_file()
+        find_artifact(&self.dir, spec).is_some()
     }
 
     /// Loads the simulation result for one grid point.
@@ -60,7 +265,7 @@ impl ArtifactStore {
         let key = (model, hier, bench, seed);
         if !self.cache.contains_key(&key) {
             let spec = JobSpec::sim(model, hier, bench, seed, self.scale);
-            let path = self.path_for(&spec);
+            let path = find_artifact(&self.dir, &spec).unwrap_or_else(|| self.path_for(&spec));
             let text = std::fs::read_to_string(&path).map_err(|e| {
                 format!(
                     "no artifact for {} at {} ({e}); run `ff-campaign run --all --scale {}` first",
@@ -92,19 +297,14 @@ impl ArtifactStore {
         &self.cache[&(model, hier, bench, seed)]
     }
 
-    /// Cycle count for a seeded grid point (seed-sensitivity rendering).
-    pub fn seeded_cycles(&mut self, model: ModelKind, bench: &'static str, seed: u64) -> u64 {
-        self.result_seeded(model, HierKind::Base, bench, seed).stats.cycles
-    }
-
     /// The rendered text of a report artifact.
     ///
     /// # Errors
     ///
     /// Describes the missing/corrupt artifact.
-    pub fn report_text(&self, name: &'static str) -> Result<String, String> {
+    pub fn try_report_text(&self, name: &'static str) -> Result<String, String> {
         let spec = JobSpec::report(name, self.scale);
-        let path = self.path_for(&spec);
+        let path = find_artifact(&self.dir, &spec).unwrap_or_else(|| self.path_for(&spec));
         let text = std::fs::read_to_string(&path).map_err(|e| {
             format!(
                 "no artifact for {} at {} ({e}); run `ff-campaign run --all --scale {}` first",
@@ -131,6 +331,20 @@ impl ResultSource for ArtifactStore {
     fn result(&mut self, model: ModelKind, hier: HierKind, bench: &'static str) -> &RunResult {
         self.result_seeded(model, hier, bench, 0)
     }
+
+    fn result_seeded(
+        &mut self,
+        model: ModelKind,
+        hier: HierKind,
+        bench: &'static str,
+        seed: u64,
+    ) -> &RunResult {
+        ArtifactStore::result_seeded(self, model, hier, bench, seed)
+    }
+
+    fn report_text(&mut self, name: &'static str) -> Result<String, String> {
+        self.try_report_text(name)
+    }
 }
 
 #[cfg(test)]
@@ -139,15 +353,20 @@ mod tests {
     use crate::artifact::render_sim_artifact;
     use ff_experiments::Suite;
 
-    #[test]
-    fn store_round_trips_a_live_result() {
-        let dir = std::env::temp_dir().join(format!("ff-store-test-{}", std::process::id()));
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("ff-store-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
         std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn store_round_trips_a_live_result_from_the_sharded_layout() {
+        let dir = temp_dir("roundtrip");
         let w = Workload::by_name("mesa", Scale::Test).unwrap();
         let live = Suite::execute(ModelKind::InOrder, HierKind::Base, &w);
         let spec = JobSpec::sim(ModelKind::InOrder, HierKind::Base, "mesa", 0, Scale::Test);
-        std::fs::write(dir.join(spec.artifact_filename()), render_sim_artifact(&spec, &live))
-            .unwrap();
+        write_artifact(&dir, &spec, &render_sim_artifact(&spec, &live)).unwrap();
 
         let mut store = ArtifactStore::new(&dir, Scale::Test);
         assert!(store.contains(&spec));
@@ -156,6 +375,92 @@ mod tests {
         assert_eq!(loaded.activity, live.activity);
         assert_eq!(loaded.mem_stats, live.mem_stats);
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn flat_layout_reads_still_work() {
+        let dir = temp_dir("flat");
+        let w = Workload::by_name("mesa", Scale::Test).unwrap();
+        let live = Suite::execute(ModelKind::InOrder, HierKind::Base, &w);
+        let spec = JobSpec::sim(ModelKind::InOrder, HierKind::Base, "mesa", 0, Scale::Test);
+        // Legacy flat layout: artifact directly under the root.
+        std::fs::write(dir.join(spec.artifact_filename()), render_sim_artifact(&spec, &live))
+            .unwrap();
+
+        let mut store = ArtifactStore::new(&dir, Scale::Test);
+        assert!(store.contains(&spec));
+        let loaded = store.result(ModelKind::InOrder, HierKind::Base, "mesa");
+        assert_eq!(loaded.stats, live.stats);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn migrate_flat_moves_artifacts_into_shards() {
+        let dir = temp_dir("migrate");
+        let w = Workload::by_name("mesa", Scale::Test).unwrap();
+        let live = Suite::execute(ModelKind::InOrder, HierKind::Base, &w);
+        let spec = JobSpec::sim(ModelKind::InOrder, HierKind::Base, "mesa", 0, Scale::Test);
+        let flat = dir.join(spec.artifact_filename());
+        std::fs::write(&flat, render_sim_artifact(&spec, &live)).unwrap();
+        // Bystanders must not move.
+        std::fs::write(dir.join("manifest.json"), "{}\n").unwrap();
+        std::fs::write(dir.join("quarantine.json"), "{}\n").unwrap();
+
+        assert_eq!(migrate_flat(&dir).unwrap(), 1);
+        assert!(!flat.exists(), "flat copy must move");
+        assert!(sharded_path(&dir, &spec).is_file(), "artifact must land in its shard");
+        assert!(dir.join("manifest.json").is_file());
+        assert!(dir.join("quarantine.json").is_file());
+        // Idempotent.
+        assert_eq!(migrate_flat(&dir).unwrap(), 0);
+
+        let mut store = ArtifactStore::new(&dir, Scale::Test);
+        assert!(store.contains(&spec));
+        assert_eq!(store.result(ModelKind::InOrder, HierKind::Base, "mesa").stats, live.stats);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn find_by_hash_searches_shard_then_flat() {
+        let dir = temp_dir("byhash");
+        let spec = JobSpec::sim(ModelKind::Ooo, HierKind::Base, "mcf", 0, Scale::Test);
+        let hash = spec.config_hash();
+        assert!(find_by_hash(&dir, hash).is_none());
+        write_artifact(&dir, &spec, "{}\n").unwrap();
+        assert_eq!(find_by_hash(&dir, hash), Some(sharded_path(&dir, &spec)));
+        // A flat legacy artifact is found too once the sharded one is gone.
+        std::fs::remove_file(sharded_path(&dir, &spec)).unwrap();
+        std::fs::write(dir.join(spec.artifact_filename()), "{}\n").unwrap();
+        assert_eq!(find_by_hash(&dir, hash), Some(dir.join(spec.artifact_filename())));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn sharded_store_publishes_and_reads_under_locks() {
+        let dir = temp_dir("shared");
+        let store = ShardedStore::open(&dir).unwrap();
+        let spec = JobSpec::sim(ModelKind::Multipass, HierKind::Base, "gzip", 0, Scale::Test);
+        assert!(!store.contains(&spec));
+        assert!(store.read(&spec).is_none());
+        store.publish(&spec, "{\"x\": 1}\n").unwrap();
+        assert!(store.contains(&spec));
+        assert_eq!(store.read(&spec).unwrap(), "{\"x\": 1}\n");
+        assert_eq!(store.read_by_hash(spec.config_hash()).unwrap(), "{\"x\": 1}\n");
+        assert!(store.read_by_hash(0xdead_beef).is_none());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn shard_names_cover_the_hash_prefix() {
+        assert_eq!(shard_name(0x0000_0000_0000_0000), "00");
+        assert_eq!(shard_name(0xab12_3456_789a_bcde), "ab");
+        assert_eq!(shard_name(0xff00_0000_0000_0001), "ff");
+        let spec = JobSpec::sim(ModelKind::Ooo, HierKind::Config2, "art", 3, Scale::Paper);
+        let f = spec.artifact_filename();
+        // The shard name is the filename-embedded hash's first two chars.
+        let hex = format!("{:016x}", spec.config_hash());
+        assert_eq!(shard_name(spec.config_hash()), hex[..2].to_string());
+        assert!(f.contains(&hex));
     }
 
     #[test]

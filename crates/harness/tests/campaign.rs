@@ -19,13 +19,29 @@ fn temp_dir(tag: &str) -> PathBuf {
     dir
 }
 
+/// Collects every artifact in the store (sharded layout and legacy flat
+/// root alike), keyed by file name — manifests, quarantine ledgers, and
+/// crash bundles are not artifacts and are excluded.
 fn artifact_bytes(dir: &Path) -> BTreeMap<String, Vec<u8>> {
-    std::fs::read_dir(dir)
-        .unwrap()
-        .map(|e| e.unwrap())
-        .filter(|e| e.file_name().to_string_lossy().ends_with(".json"))
-        .map(|e| (e.file_name().to_string_lossy().into_owned(), std::fs::read(e.path()).unwrap()))
-        .collect()
+    let mut out = BTreeMap::new();
+    let mut dirs = vec![dir.to_path_buf()];
+    while let Some(d) = dirs.pop() {
+        let Ok(entries) = std::fs::read_dir(&d) else { continue };
+        for e in entries.map(|e| e.unwrap()) {
+            let name = e.file_name().to_string_lossy().into_owned();
+            if e.path().is_dir() {
+                // Shard directories are two hex chars; skip bundles/ etc.
+                if name.len() == 2 && name.chars().all(|c| c.is_ascii_hexdigit()) {
+                    dirs.push(e.path());
+                }
+            } else if (name.starts_with("sim-") || name.starts_with("report-"))
+                && name.ends_with(".json")
+            {
+                out.insert(name, std::fs::read(e.path()).unwrap());
+            }
+        }
+    }
+    out
 }
 
 /// `--jobs 4` must produce bit-for-bit the artifacts of `--jobs 1`: same
@@ -106,7 +122,7 @@ fn checkpoint_resume_reruns_only_missing_jobs() {
     // Corrupt one artifact's recorded config hash: resume must detect the
     // mismatch and recompute that job.
     let victim = jobs[0].clone();
-    let path = dir.join(victim.artifact_filename());
+    let path = ff_harness::store::sharded_path(&dir, &victim);
     let text = std::fs::read_to_string(&path).unwrap();
     let hash = format!("{:016x}", victim.config_hash());
     std::fs::write(&path, text.replace(&hash, "0000000000000000")).unwrap();
@@ -117,6 +133,44 @@ fn checkpoint_resume_reruns_only_missing_jobs() {
     // And the recomputed artifact carries the correct hash again.
     assert!(std::fs::read_to_string(&path).unwrap().contains(&hash));
 
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// A pre-sharding (flat) artifact tree still checkpoints: resume sees the
+/// flat artifacts as cached, `migrate-store` moves them into shards, and
+/// the migrated tree is byte-identical and still fully cached.
+#[test]
+fn flat_legacy_store_resumes_and_migrates() {
+    let dir = temp_dir("flatlegacy");
+    let jobs: Vec<JobSpec> = ["mcf", "gzip"]
+        .into_iter()
+        .map(|bench| JobSpec::sim(ModelKind::InOrder, HierKind::Base, bench, 0, Scale::Test))
+        .collect();
+    let mut opts = CampaignOptions::new(Scale::Test, &dir);
+    opts.workers = 1;
+    let first = run_campaign(&jobs, &opts).unwrap();
+    assert_eq!(first.ok(), 2);
+    let sharded = artifact_bytes(&dir);
+
+    // Demote the store to the legacy flat layout (artifacts directly
+    // under the root), as a pre-sharding checkout would have left it.
+    for job in &jobs {
+        let from = ff_harness::store::sharded_path(&dir, job);
+        std::fs::rename(&from, dir.join(job.artifact_filename())).unwrap();
+    }
+    let resumed = run_campaign(&jobs, &opts).unwrap();
+    assert_eq!(resumed.cached(), 2, "flat fallback must keep the checkpoint warm");
+
+    // One-shot migration: everything moves into its shard, nothing
+    // re-simulates afterwards, and the bytes are untouched.
+    assert_eq!(ff_harness::migrate_flat(&dir).unwrap(), 2);
+    for job in &jobs {
+        assert!(ff_harness::store::sharded_path(&dir, job).is_file());
+        assert!(!dir.join(job.artifact_filename()).exists());
+    }
+    assert_eq!(artifact_bytes(&dir), sharded);
+    let migrated = run_campaign(&jobs, &opts).unwrap();
+    assert_eq!(migrated.cached(), 2);
     std::fs::remove_dir_all(&dir).unwrap();
 }
 

@@ -1,0 +1,212 @@
+//! A hand-rolled HTTP/1.1 server layer over `std::net`.
+//!
+//! The build environment is offline (no hyper, no tokio), and the
+//! campaign service needs exactly four routes with small JSON bodies, so
+//! this implements the minimal subset the `ff-harness` client speaks:
+//! `Content-Length` bodies, `Connection: close` per request, a fixed
+//! accept-thread + worker-thread model. No keep-alive, no chunked
+//! encoding, no TLS — additions the protocol does not need.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Per-connection read/write timeout: a stalled client must never wedge
+/// an HTTP worker for good.
+const IO_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Largest accepted request body (a full-grid campaign request is < 2 KiB;
+/// anything near this bound is hostile or corrupt).
+const MAX_BODY: usize = 1 << 20;
+
+/// A parsed HTTP request.
+#[derive(Clone, Debug)]
+pub struct Request {
+    /// Upper-case method (`GET`, `POST`).
+    pub method: String,
+    /// Request path, query string stripped.
+    pub path: String,
+    /// Decoded body (empty when absent).
+    pub body: String,
+}
+
+/// A response: status code plus JSON body text.
+#[derive(Clone, Debug)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Body text (already-rendered JSON).
+    pub body: String,
+}
+
+impl Response {
+    /// A 200 response with `body`.
+    pub fn ok(body: String) -> Response {
+        Response { status: 200, body }
+    }
+
+    /// An error response with a `{"error": msg}` body.
+    pub fn error(status: u16, msg: &str) -> Response {
+        let body = ff_harness::json::Json::obj(vec![(
+            "error",
+            ff_harness::json::Json::Str(msg.to_string()),
+        )])
+        .render();
+        Response { status, body }
+    }
+}
+
+fn status_text(code: u16) -> &'static str {
+    match code {
+        200 => "OK",
+        201 => "Created",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        503 => "Service Unavailable",
+        _ => "Internal Server Error",
+    }
+}
+
+/// Reads one request from `stream`.
+///
+/// # Errors
+///
+/// On a malformed request line, an oversized body, or an IO failure; the
+/// connection is simply dropped in that case.
+pub fn read_request(stream: &mut TcpStream) -> Result<Request, String> {
+    stream.set_read_timeout(Some(IO_TIMEOUT)).map_err(|e| e.to_string())?;
+    stream.set_write_timeout(Some(IO_TIMEOUT)).map_err(|e| e.to_string())?;
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line).map_err(|e| e.to_string())?;
+    let mut parts = line.split_whitespace();
+    let method = parts.next().ok_or("empty request line")?.to_ascii_uppercase();
+    let target = parts.next().ok_or("request line missing target")?;
+    let path = target.split('?').next().unwrap_or(target).to_string();
+    let mut content_length = 0usize;
+    loop {
+        let mut header = String::new();
+        reader.read_line(&mut header).map_err(|e| e.to_string())?;
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length =
+                    value.trim().parse().map_err(|_| "bad Content-Length".to_string())?;
+            }
+        }
+    }
+    if content_length > MAX_BODY {
+        return Err(format!("body of {content_length} bytes exceeds the {MAX_BODY} limit"));
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).map_err(|e| e.to_string())?;
+    let body = String::from_utf8(body).map_err(|_| "non-UTF-8 body".to_string())?;
+    Ok(Request { method, path, body })
+}
+
+/// Writes `response` to `stream` (best effort: a vanished client is not
+/// an error worth propagating).
+pub fn write_response(stream: &mut TcpStream, response: &Response) {
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        response.status,
+        status_text(response.status),
+        response.body.len(),
+    );
+    let _ = stream.write_all(head.as_bytes());
+    let _ = stream.write_all(response.body.as_bytes());
+    let _ = stream.flush();
+}
+
+/// The accept thread plus a fixed pool of HTTP worker threads. Accepted
+/// connections queue on an mpsc channel; each worker reads one request,
+/// calls the handler, writes the response, and closes.
+pub struct HttpServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl HttpServer {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts the
+    /// accept thread plus `threads` HTTP workers dispatching to `handler`.
+    ///
+    /// # Errors
+    ///
+    /// On failure to bind.
+    pub fn start<H>(addr: &str, threads: usize, handler: H) -> std::io::Result<HttpServer>
+    where
+        H: Fn(&Request) -> Response + Send + Sync + 'static,
+    {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let handler = Arc::new(handler);
+        let (tx, rx) = mpsc::channel::<TcpStream>();
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..threads.max(1))
+            .map(|_| {
+                let rx = Arc::clone(&rx);
+                let handler = Arc::clone(&handler);
+                std::thread::spawn(move || loop {
+                    // Holding the receiver lock only while dequeuing keeps
+                    // workers independent once they own a connection.
+                    let next = rx.lock().unwrap_or_else(|e| e.into_inner()).recv();
+                    let Ok(mut stream) = next else { return };
+                    match read_request(&mut stream) {
+                        Ok(request) => {
+                            let response = handler(&request);
+                            write_response(&mut stream, &response);
+                        }
+                        Err(msg) => {
+                            write_response(&mut stream, &Response::error(400, &msg));
+                        }
+                    }
+                })
+            })
+            .collect();
+        let accept_stop = Arc::clone(&stop);
+        let accept = std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                if accept_stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                if tx.send(stream).is_err() {
+                    break;
+                }
+            }
+            // Dropping `tx` lets every idle worker's recv() fail and exit.
+        });
+        Ok(HttpServer { addr: local, stop, accept: Some(accept), workers })
+    }
+
+    /// The bound address (reports the real port when started with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, drains the workers, and joins every thread.
+    /// In-flight requests complete; queued connections are dropped.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // The accept loop blocks in accept(); a throwaway connection to
+        // ourselves unblocks it so it can observe the stop flag.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1));
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}

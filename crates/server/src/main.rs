@@ -1,0 +1,180 @@
+//! The `ff-server` binary: a long-running campaign service.
+//!
+//! Listens for campaign submissions over HTTP/JSON, drains them on a
+//! panic-isolated simulation worker pool, and memoizes every artifact in
+//! a sharded store. `SIGTERM`/`SIGINT` (or `POST /shutdown`) triggers a
+//! graceful exit: in-flight simulations finish and every campaign's
+//! progress is checkpointed as a manifest; restarting against the same
+//! store resumes them with zero re-simulation.
+
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+use ff_engine::TickMode;
+use ff_harness::campaign::ExecOptions;
+use ff_server::{SchedulerOptions, Server};
+
+const USAGE: &str = "\
+ff-server: the campaign service daemon
+
+USAGE:
+    ff-server [OPTIONS]
+
+OPTIONS:
+    --addr HOST:PORT      listen address (default 127.0.0.1:7878; port 0
+                          picks an ephemeral port)
+    --store DIR           artifact store root (default results/store)
+    --jobs N              simulation worker threads (default: cores)
+    --retries N           extra attempts per failed job (default 0)
+    --cycle-budget N      per-job watchdog: fail a simulation after N cycles
+    --sentinels           run simulations under the invariant checker set
+    --tick MODE           polling | event (default event)
+    --quarantine-after N  skip configs with N consecutive recorded failures
+    --port-file PATH      write the bound port to PATH once listening
+                          (for scripts using --addr with port 0)
+    --help                print this help
+";
+
+struct Cli {
+    addr: String,
+    store: String,
+    jobs: Option<usize>,
+    retries: u32,
+    cycle_budget: Option<u64>,
+    sentinels: bool,
+    tick: TickMode,
+    quarantine_after: Option<u32>,
+    port_file: Option<String>,
+}
+
+fn parse_args() -> Result<Cli, String> {
+    let mut cli = Cli {
+        addr: "127.0.0.1:7878".to_string(),
+        store: "results/store".to_string(),
+        jobs: None,
+        retries: 0,
+        cycle_budget: None,
+        sentinels: false,
+        tick: TickMode::default(),
+        quarantine_after: None,
+        port_file: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| args.next().ok_or_else(|| format!("{name} needs a value"));
+        match arg.as_str() {
+            "--addr" => cli.addr = value("--addr")?,
+            "--store" => cli.store = value("--store")?,
+            "--jobs" => {
+                cli.jobs = Some(value("--jobs")?.parse().map_err(|_| "--jobs needs a number")?);
+            }
+            "--retries" => {
+                cli.retries =
+                    value("--retries")?.parse().map_err(|_| "--retries needs a number")?;
+            }
+            "--cycle-budget" => {
+                cli.cycle_budget = Some(
+                    value("--cycle-budget")?
+                        .parse()
+                        .map_err(|_| "--cycle-budget needs a number")?,
+                );
+            }
+            "--sentinels" => cli.sentinels = true,
+            "--tick" => {
+                cli.tick = match value("--tick")?.as_str() {
+                    "polling" => TickMode::Polling,
+                    "event" => TickMode::EventDriven,
+                    other => return Err(format!("unknown tick mode `{other}`")),
+                };
+            }
+            "--quarantine-after" => {
+                cli.quarantine_after = Some(
+                    value("--quarantine-after")?
+                        .parse()
+                        .map_err(|_| "--quarantine-after needs a number")?,
+                );
+            }
+            "--port-file" => cli.port_file = Some(value("--port-file")?),
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown option `{other}` (try --help)")),
+        }
+    }
+    Ok(cli)
+}
+
+/// Set by the SIGTERM/SIGINT handler; polled by the main loop.
+static SIGNALLED: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+fn install_signal_handlers() {
+    // The build environment is offline, so no signal crate: bind libc's
+    // signal(2) directly. The handler only stores to an atomic, which is
+    // async-signal-safe. Confined to the binary — the library crates all
+    // forbid unsafe code.
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    extern "C" fn on_signal(_signum: i32) {
+        SIGNALLED.store(true, Ordering::SeqCst);
+    }
+    unsafe {
+        signal(SIGINT, on_signal);
+        signal(SIGTERM, on_signal);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_signal_handlers() {}
+
+fn main() -> ExitCode {
+    let cli = match parse_args() {
+        Ok(cli) => cli,
+        Err(msg) => {
+            eprintln!("ff-server: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    install_signal_handlers();
+    let opts = SchedulerOptions {
+        workers: cli
+            .jobs
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get())),
+        attempts: cli.retries + 1,
+        exec: ExecOptions {
+            cycle_budget: cli.cycle_budget,
+            sentinels: cli.sentinels,
+            tick: cli.tick,
+        },
+        quarantine_after: cli.quarantine_after,
+    };
+    let workers = opts.workers;
+    let server = match Server::start(&cli.addr, &cli.store, opts) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("ff-server: could not start on {}: {e}", cli.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    let addr = server.addr();
+    if let Some(path) = &cli.port_file {
+        if let Err(e) = std::fs::write(path, format!("{}\n", addr.port())) {
+            eprintln!("ff-server: could not write port file {path}: {e}");
+            server.shutdown();
+            return ExitCode::FAILURE;
+        }
+    }
+    println!("ff-server: listening on http://{addr} (store {}, {workers} workers)", cli.store);
+    while !SIGNALLED.load(Ordering::SeqCst) && !server.wants_shutdown() {
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    println!("ff-server: shutting down (checkpointing campaigns)");
+    server.shutdown();
+    println!("ff-server: checkpoint complete");
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,102 @@
+//! Route dispatch: maps the HTTP surface onto the [`Scheduler`].
+//!
+//! | Route                 | Meaning                                        |
+//! |-----------------------|------------------------------------------------|
+//! | `POST /campaigns`     | Submit a campaign request; returns `{id, total}` |
+//! | `GET /campaigns/{id}` | Campaign status document                       |
+//! | `GET /jobs/{hash}`    | The artifact for a 16-hex config hash          |
+//! | `GET /healthz`        | Liveness plus memoization counters             |
+//! | `POST /shutdown`      | Ask the server to checkpoint and exit          |
+//!
+//! Every body is JSON; errors are `{"error": "..."}` with a 4xx/5xx
+//! status, which `ff_harness::remote` surfaces to the client verbatim.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use ff_harness::json::Json;
+use ff_harness::remote::CampaignRequest;
+
+use crate::http::{Request, Response};
+use crate::scheduler::Scheduler;
+
+/// Shared service state: the scheduler plus the shutdown latch the
+/// binary's main loop polls.
+pub struct Service {
+    scheduler: Arc<Scheduler>,
+    wants_shutdown: AtomicBool,
+}
+
+impl Service {
+    /// Wraps `scheduler` for route dispatch.
+    pub fn new(scheduler: Arc<Scheduler>) -> Service {
+        Service { scheduler, wants_shutdown: AtomicBool::new(false) }
+    }
+
+    /// The scheduler behind this service.
+    pub fn scheduler(&self) -> &Arc<Scheduler> {
+        &self.scheduler
+    }
+
+    /// Whether a `POST /shutdown` has been received.
+    pub fn wants_shutdown(&self) -> bool {
+        self.wants_shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Dispatches one request.
+    pub fn handle(&self, request: &Request) -> Response {
+        let path = request.path.trim_end_matches('/');
+        match (request.method.as_str(), path) {
+            ("POST", "/campaigns") => self.submit(&request.body),
+            ("GET", "/healthz") => Response::ok(self.scheduler.health().render()),
+            ("POST", "/shutdown") => {
+                self.wants_shutdown.store(true, Ordering::SeqCst);
+                Response::ok(Json::obj(vec![("status", Json::Str("stopping".into()))]).render())
+            }
+            ("GET", _) if path.starts_with("/campaigns/") => {
+                self.campaign(&path["/campaigns/".len()..])
+            }
+            ("GET", _) if path.starts_with("/jobs/") => self.job(&path["/jobs/".len()..]),
+            ("GET" | "POST", _) => Response::error(404, "no such route"),
+            _ => Response::error(405, "method not allowed"),
+        }
+    }
+
+    fn submit(&self, body: &str) -> Response {
+        let doc = match Json::parse(body) {
+            Ok(doc) => doc,
+            Err(e) => return Response::error(400, &format!("bad JSON body: {e}")),
+        };
+        let request = match CampaignRequest::from_json(&doc) {
+            Ok(request) => request,
+            Err(e) => return Response::error(400, &e),
+        };
+        match self.scheduler.submit(&request) {
+            Ok((id, total)) => Response {
+                status: 201,
+                body: Json::obj(vec![("id", Json::Str(id)), ("total", Json::U64(total as u64))])
+                    .render(),
+            },
+            Err(e) => Response::error(503, &e),
+        }
+    }
+
+    fn campaign(&self, id: &str) -> Response {
+        match self.scheduler.status(id) {
+            Some(doc) => Response::ok(doc.render()),
+            None => Response::error(404, &format!("unknown campaign `{id}`")),
+        }
+    }
+
+    fn job(&self, hash_text: &str) -> Response {
+        let Ok(hash) = u64::from_str_radix(hash_text, 16) else {
+            return Response::error(400, &format!("`{hash_text}` is not a hex config hash"));
+        };
+        match self.scheduler.store().read_by_hash(hash) {
+            // The artifact is itself a JSON document; serve it verbatim so
+            // fetched bytes match the store's bytes exactly.
+            Some(text) => Response::ok(text),
+            None => Response::error(404, &format!("no artifact for config hash {hash_text}")),
+        }
+    }
+}

@@ -1,0 +1,191 @@
+//! End-to-end HTTP tests: a real `Server` on an ephemeral port, driven
+//! through the same `ff_harness::remote` client the CLI uses, running
+//! real simulations at test scale.
+
+use std::time::{Duration, Instant};
+
+use ff_experiments::{HierKind, ModelKind};
+use ff_harness::campaign::{attempt_job, ExecOptions, JobContext, JobFilter};
+use ff_harness::job::{JobKind, JobSpec};
+use ff_harness::json::Json;
+use ff_harness::remote::{
+    campaign_status, fetch_artifact, http_get, http_request, submit_campaign, CampaignRequest,
+    ServerUrl,
+};
+use ff_server::{Scheduler, SchedulerOptions, Server, CAMPAIGNS_DIR};
+use ff_workloads::Scale;
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "ff-server-e2e-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id(),
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+fn start(store: &std::path::Path) -> (Server, ServerUrl) {
+    let opts = SchedulerOptions { workers: 2, ..SchedulerOptions::default() };
+    let server = Server::start("127.0.0.1:0", store, opts).expect("server starts");
+    let url = ServerUrl::parse(&server.addr().to_string()).expect("addr parses");
+    (server, url)
+}
+
+fn tiny_request() -> CampaignRequest {
+    CampaignRequest {
+        scale: Scale::Test,
+        filter: JobFilter {
+            models: vec![ModelKind::InOrder],
+            hiers: vec![HierKind::Base],
+            benches: vec!["gzip".to_string(), "mcf".to_string()],
+            seeds: vec![0],
+        },
+        reports: false,
+    }
+}
+
+fn wait_done(url: &ServerUrl, id: &str) -> ff_harness::remote::CampaignStatus {
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let status = campaign_status(url, id).expect("status");
+        if status.done {
+            return status;
+        }
+        assert!(Instant::now() < deadline, "campaign {id} did not finish");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+fn counter(url: &ServerUrl, name: &str) -> u64 {
+    let body = http_get(url, "/healthz").expect("healthz");
+    let doc = Json::parse(&body).expect("healthz JSON");
+    doc.get("counters").and_then(|c| c.get(name)).and_then(Json::as_u64).unwrap_or(u64::MAX)
+}
+
+#[test]
+fn http_submission_memoizes_and_serves_byte_identical_artifacts() {
+    let store = temp_dir("memo");
+    let (server, url) = start(&store);
+
+    let request = tiny_request();
+    let (first, total) = submit_campaign(&url, &request).expect("submit");
+    assert_eq!(total, 2);
+    let status = wait_done(&url, &first);
+    assert_eq!(status.counts.get("ok"), Some(&2), "counts: {:?}", status.counts);
+    assert_eq!(counter(&url, "misses"), 2);
+
+    // Every artifact the server serves must be byte-identical to what a
+    // direct in-process run of the same job produces.
+    let mut ctx = JobContext::new();
+    let exec = ExecOptions::default();
+    for job in &status.jobs {
+        let served = fetch_artifact(&url, &job.hash).expect("fetch");
+        let spec =
+            request.expand().into_iter().find(|s| s.id() == job.id).expect("job spec in expansion");
+        let direct = attempt_job(&mut ctx, &spec, &exec, None).result.expect("direct run");
+        assert_eq!(served, direct, "artifact for {} must match a direct run", job.id);
+    }
+
+    // Resubmitting the identical request is a fresh campaign that costs
+    // zero simulations: every job is a memo hit.
+    let (second, _) = submit_campaign(&url, &request).expect("resubmit");
+    assert_ne!(first, second);
+    let status = wait_done(&url, &second);
+    assert_eq!(status.counts.get("hit"), Some(&2), "counts: {:?}", status.counts);
+    assert_eq!(counter(&url, "misses"), 2, "resubmission must not simulate");
+    assert_eq!(counter(&url, "hits"), 2);
+
+    server.shutdown();
+}
+
+#[test]
+fn unknown_routes_and_bad_requests_report_json_errors() {
+    let store = temp_dir("errors");
+    let (server, url) = start(&store);
+
+    let (code, body) = http_request(&url, "GET", "/nope", None).expect("request");
+    assert_eq!(code, 404);
+    assert!(body.contains("error"), "body: {body}");
+
+    let (code, _) = http_request(&url, "GET", "/campaigns/c999", None).expect("request");
+    assert_eq!(code, 404);
+
+    let (code, _) = http_request(&url, "GET", "/jobs/not-hex", None).expect("request");
+    assert_eq!(code, 400);
+
+    let (code, _) =
+        http_request(&url, "POST", "/campaigns", Some("{\"scale\": \"bogus\"}")).expect("request");
+    assert_eq!(code, 400);
+
+    let (code, _) = http_request(&url, "DELETE", "/campaigns", None).expect("request");
+    assert_eq!(code, 405);
+
+    server.shutdown();
+}
+
+#[test]
+fn shutdown_checkpoints_and_a_restarted_server_resumes_from_the_store() {
+    let store = temp_dir("restart");
+    let (server, url) = start(&store);
+    let request = tiny_request();
+    let (id, _) = submit_campaign(&url, &request).expect("submit");
+    wait_done(&url, &id);
+    server.shutdown();
+
+    let manifest = store.join(CAMPAIGNS_DIR).join(&id).join("manifest.json");
+    assert!(manifest.exists(), "graceful shutdown must write a checkpoint manifest");
+
+    // The restarted server resumes the checkpointed campaign under its
+    // original id; the artifacts already published make every job a memo
+    // hit, so the resume costs zero simulations.
+    let (server, url) = start(&store);
+    let status = wait_done(&url, &id);
+    assert_eq!(status.counts.get("hit"), Some(&2), "counts: {:?}", status.counts);
+    assert_eq!(counter(&url, "misses"), 0, "resume must not re-simulate");
+    server.shutdown();
+}
+
+#[test]
+fn the_server_memoizes_artifacts_published_by_a_direct_cli_style_run() {
+    let store = temp_dir("cross");
+    let request = tiny_request();
+
+    // Simulate the jobs "by hand" into the store first — the equivalent
+    // of a past `ff-campaign run --out <store>`.
+    let direct = Scheduler::start(
+        ff_harness::store::ShardedStore::open(&store).expect("store"),
+        SchedulerOptions { workers: 2, ..SchedulerOptions::default() },
+    );
+    let (id, _) = direct.submit(&request).expect("submit");
+    let deadline = Instant::now() + Duration::from_secs(120);
+    while !matches!(direct.status(&id).and_then(|s| s.get("done").cloned()), Some(Json::Bool(true)))
+    {
+        assert!(Instant::now() < deadline, "direct campaign did not finish");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    direct.shutdown();
+    // Drop the campaign ledger so only the artifacts remain.
+    std::fs::remove_dir_all(store.join(CAMPAIGNS_DIR)).expect("clear campaigns");
+
+    let (server, url) = start(&store);
+    let (id, _) = submit_campaign(&url, &request).expect("submit");
+    let status = wait_done(&url, &id);
+    assert_eq!(status.counts.get("hit"), Some(&2), "counts: {:?}", status.counts);
+    assert_eq!(counter(&url, "misses"), 0, "existing artifacts must be reused");
+
+    // And the served bytes are exactly the stored bytes.
+    for job in &status.jobs {
+        let spec: Vec<JobSpec> = request.expand();
+        let spec = spec.into_iter().find(|s| s.id() == job.id).expect("spec");
+        assert!(matches!(spec.kind, JobKind::Sim { .. }));
+        let served = fetch_artifact(&url, &job.hash).expect("fetch");
+        let stored = ff_harness::store::ShardedStore::open(&store)
+            .expect("store")
+            .read(&spec)
+            .expect("stored artifact");
+        assert_eq!(served, stored);
+    }
+    server.shutdown();
+}
