@@ -101,6 +101,7 @@ impl ExecutionModel for InOrder {
                 // instruction; borrow the program's original rather than
                 // cloning it into every issue slot.
                 let inst = program.inst(pc).expect("fetched pc is valid");
+                activity.select_visits += 1;
 
                 if let Some(kind) = operand_stall(inst, &sb, now) {
                     stall = Some(kind);
@@ -248,20 +249,26 @@ impl ExecutionModel for InOrder {
             // would have. Bit-for-bit identical stats by construction.
             if self.tick == TickMode::EventDriven && !halted {
                 if let Some(fetch_wake) = fetch.quiescent_until(now) {
+                    // The third tuple element is issue-select visits per
+                    // skipped cycle: a live stalled head is examined once
+                    // every polled cycle, a drained or not-yet-fetched head
+                    // is never examined.
                     let window = match fetch.get(fetch.head_seq()) {
-                        None => Some((u64::MAX, StallKind::FrontEnd)),
-                        Some(e) if e.fetched_at > now => Some((e.fetched_at, StallKind::FrontEnd)),
+                        None => Some((u64::MAX, StallKind::FrontEnd, 0)),
+                        Some(e) if e.fetched_at > now => {
+                            Some((e.fetched_at, StallKind::FrontEnd, 0))
+                        }
                         Some(e) => {
                             let inst = program.inst(e.pc).expect("fetched pc is valid");
                             match operand_stall(inst, &sb, now) {
                                 // The stall *kind* may change once the
                                 // earliest operand readies: wake at the
                                 // min crossing and re-evaluate there.
-                                Some(kind) => operand_wake(inst, &sb, now).map(|w| (w, kind)),
+                                Some(kind) => operand_wake(inst, &sb, now).map(|w| (w, kind, 1)),
                                 // Blocked purely on an occupied
                                 // unpipelined FP unit.
                                 None if !fu.can_issue_fresh(inst, now) => {
-                                    Some((fu.next_fp_release(now), StallKind::Other))
+                                    Some((fu.next_fp_release(now), StallKind::Other, 1))
                                 }
                                 // Would issue (or needs a memory access,
                                 // which mutates hierarchy stats): poll.
@@ -269,11 +276,12 @@ impl ExecutionModel for InOrder {
                             }
                         }
                     };
-                    if let Some((target, kind)) = window {
+                    if let Some((target, kind, visits)) = window {
                         let wake =
                             target.min(fetch_wake).min(mem.next_mshr_fill(now)).min(cycle_cap);
                         if wake > now {
                             stats.breakdown.charge_n(kind, wake - now);
+                            activity.select_visits += visits * (wake - now);
                             now = wake;
                         }
                     }

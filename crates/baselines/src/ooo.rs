@@ -19,6 +19,8 @@
 //! and throttle the achievable parallelism.
 
 use std::borrow::Cow;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 use ff_engine::{
     Activity, DynTrace, ExecutionModel, FuPool, MachineConfig, RetireEvent, RetireHook, RetireMode,
@@ -71,6 +73,41 @@ impl OutOfOrder {
 
 const NOT_DONE: u64 = u64::MAX;
 
+/// Sentinel for an empty intrusive waiter list.
+const NO_WAITER: u32 = u32::MAX;
+
+/// Classifies a window entry for the wakeup-driven ready state: if any
+/// dependence has not issued yet, returns `Err(producer_idx)` for the first
+/// such producer (the entry links into that producer's waiter list and is
+/// re-classified when it issues); otherwise returns `Ok(wake_at)`, the first
+/// cycle at which every dependence is visible through the bypass network.
+fn classify(ti: &TraceInst, complete: &[u64], wakeup_delay: u64) -> Result<u64, usize> {
+    let mut wake_at = 0u64;
+    for &d in ti.reg_deps.iter().chain(ti.mem_dep.as_ref()) {
+        let c = complete[d as usize];
+        if c == NOT_DONE {
+            return Err(d as usize);
+        }
+        wake_at = wake_at.max(c + wakeup_delay);
+    }
+    Ok(wake_at)
+}
+
+/// Pushes onto the wakeup timer, counting heap growth as an allocation
+/// event (the heap is pre-sized to the window bound, so steady state never
+/// grows).
+fn timer_push(
+    timer: &mut BinaryHeap<Reverse<(u64, usize)>>,
+    activity: &mut Activity,
+    t: u64,
+    idx: usize,
+) {
+    if timer.len() == timer.capacity() {
+        activity.alloc_count += 1;
+    }
+    timer.push(Reverse((t, idx)));
+}
+
 impl ExecutionModel for OutOfOrder {
     fn name(&self) -> &'static str {
         match self.kind {
@@ -115,8 +152,28 @@ impl ExecutionModel for OutOfOrder {
         let mut decode: std::collections::VecDeque<(usize, u64)> =
             std::collections::VecDeque::new();
 
-        // Scheduling window (indices, ascending) and per-queue occupancy.
-        let mut window: Vec<usize> = Vec::new();
+        // Scheduling window, held as wakeup-driven ready state instead of a
+        // per-cycle-scanned vector: an un-issued entry is (a) linked into
+        // the intrusive waiter list of one still-unissued producer, (b)
+        // parked in the wakeup timer until its last dependence becomes
+        // visible, or (c) in the oldest-first `ready` list. Select walks
+        // only `ready`, so its cost scales with instructions that *become*
+        // ready rather than window size × cycles, and the containers are
+        // pre-sized to the window bound so steady state never allocates.
+        let mut first_waiter: Vec<u32> = vec![NO_WAITER; n];
+        let mut next_waiter: Vec<u32> = vec![NO_WAITER; n];
+        let window_cap = match self.kind {
+            WindowKind::Unified => cfg.ooo_window,
+            WindowKind::Decentralized => 3 * cfg.ooo_decentralized_queue,
+        }
+        .min(cfg.ooo_rob)
+            + 1;
+        let mut ready: Vec<usize> = Vec::with_capacity(window_cap);
+        let mut woken: Vec<usize> = Vec::with_capacity(window_cap);
+        let mut merged: Vec<usize> = Vec::with_capacity(window_cap);
+        let mut timer: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::with_capacity(window_cap);
+        let mut window_len = 0usize;
+        activity.alloc_count += 4; // the four scheduling containers above
         let mut queue_len = [0usize; 3];
         // Decentralized queues hold entries until completion: in-flight
         // (complete_at, queue) pairs pending release.
@@ -205,7 +262,7 @@ impl ExecutionModel for OutOfOrder {
                 }
                 match self.kind {
                     WindowKind::Unified => {
-                        if window.len() >= cfg.ooo_window {
+                        if window_len >= cfg.ooo_window {
                             break;
                         }
                     }
@@ -218,7 +275,20 @@ impl ExecutionModel for OutOfOrder {
                     }
                 }
                 decode.pop_front();
-                window.push(idx);
+                window_len += 1;
+                match classify(&insts[idx], &complete, wakeup_delay) {
+                    Err(p) => {
+                        next_waiter[idx] = first_waiter[p];
+                        first_waiter[p] = idx as u32;
+                    }
+                    Ok(t) if t <= now => {
+                        if woken.len() == woken.capacity() {
+                            activity.alloc_count += 1;
+                        }
+                        woken.push(idx);
+                    }
+                    Ok(t) => timer_push(&mut timer, &mut activity, t, idx),
+                }
                 debug_assert_eq!(idx, rob_tail);
                 rob_tail += 1;
                 dispatched += 1;
@@ -230,31 +300,69 @@ impl ExecutionModel for OutOfOrder {
                 }
             }
 
-            // ---- issue (oldest-first select from the window) ----
+            // ---- issue (oldest-first select from the ready list) ----
             fu.new_cycle(now);
+            // Drain due wakeup timers and merge the newly-woken entries
+            // (plus any dispatched-ready ones) into the sorted ready list.
+            while let Some(&Reverse((t, idx))) = timer.peek() {
+                if t > now {
+                    break;
+                }
+                timer.pop();
+                if woken.len() == woken.capacity() {
+                    activity.alloc_count += 1;
+                }
+                woken.push(idx);
+            }
+            if !woken.is_empty() {
+                woken.sort_unstable();
+                if merged.capacity() < ready.len() + woken.len() {
+                    activity.alloc_count += 1;
+                }
+                merged.clear();
+                let (mut a, mut b) = (0usize, 0usize);
+                while a < ready.len() && b < woken.len() {
+                    if ready[a] < woken[b] {
+                        merged.push(ready[a]);
+                        a += 1;
+                    } else {
+                        merged.push(woken[b]);
+                        b += 1;
+                    }
+                }
+                merged.extend_from_slice(&ready[a..]);
+                merged.extend_from_slice(&woken[b..]);
+                std::mem::swap(&mut ready, &mut merged);
+                woken.clear();
+            }
             let mut issued = 0u32;
             // Decentralized queues have narrow select ports: at most two
             // instructions issue from each 16-entry queue per cycle.
             let mut queue_issued = [0u32; 3];
-            let mut w = 0usize;
-            while w < window.len() && issued < cfg.issue_width {
-                let idx = window[w];
+            let mut kept = 0usize;
+            let mut r = 0usize;
+            while r < ready.len() {
+                if issued >= cfg.issue_width {
+                    break;
+                }
+                let idx = ready[r];
                 let ti = &insts[idx];
+                activity.select_visits += 1;
                 if self.kind == WindowKind::Decentralized && queue_issued[Self::queue_of(ti)] >= 2 {
-                    w += 1;
+                    ready[kept] = idx;
+                    kept += 1;
+                    r += 1;
                     continue;
                 }
-                let visible = |d: u64| {
+                // Ready-list membership implies every dependence is visible;
+                // the old per-cycle re-check is now an invariant.
+                debug_assert!(ti.reg_deps.iter().chain(ti.mem_dep.as_ref()).all(|&d| {
                     complete[d as usize] != NOT_DONE && complete[d as usize] + wakeup_delay <= now
-                };
-                let deps_ready =
-                    ti.reg_deps.iter().all(|&d| visible(d)) && ti.mem_dep.is_none_or(visible);
-                if !deps_ready {
-                    w += 1;
-                    continue;
-                }
+                }));
                 if !fu.try_issue(&ti.inst, now) {
-                    w += 1;
+                    ready[kept] = idx;
+                    kept += 1;
+                    r += 1;
                     continue;
                 }
                 // Loads access the hierarchy; MSHR exhaustion retries later.
@@ -264,7 +372,9 @@ impl ExecutionModel for OutOfOrder {
                     match mem.access(addr, AccessKind::DataRead, now) {
                         MemAccess::Done { complete_at, .. } => complete_at,
                         MemAccess::Retry => {
-                            w += 1;
+                            ready[kept] = idx;
+                            kept += 1;
+                            r += 1;
                             continue;
                         }
                     }
@@ -278,6 +388,7 @@ impl ExecutionModel for OutOfOrder {
                 } else {
                     now + 1 // predicated off: flows through in one cycle
                 };
+                debug_assert!(done_at > now, "results are never visible in their issue cycle");
                 complete[idx] = done_at;
                 issued_flag[idx] = true;
                 stats.executions += u64::from(ti.qp_true);
@@ -297,9 +408,34 @@ impl ExecutionModel for OutOfOrder {
                     waiting_branch = None;
                     fetch_blocked_until = done_at + mispredict_penalty;
                 }
-                window.remove(w);
+                // Wake this producer's waiters: each re-classifies onto its
+                // next unissued producer or into the wakeup timer (never
+                // into this cycle's ready set — results land at now+1 or
+                // later, so in-flight select order is undisturbed).
+                let mut wtr = first_waiter[idx];
+                first_waiter[idx] = NO_WAITER;
+                while wtr != NO_WAITER {
+                    let widx = wtr as usize;
+                    wtr = next_waiter[widx];
+                    match classify(&insts[widx], &complete, wakeup_delay) {
+                        Err(p) => {
+                            next_waiter[widx] = first_waiter[p];
+                            first_waiter[p] = widx as u32;
+                        }
+                        Ok(t) => timer_push(&mut timer, &mut activity, t, widx),
+                    }
+                }
+                window_len -= 1;
                 issued += 1;
+                r += 1;
             }
+            // Entries past the width cutoff stay ready, still oldest-first.
+            while r < ready.len() {
+                ready[kept] = ready[r];
+                kept += 1;
+                r += 1;
+            }
+            ready.truncate(kept);
 
             // ---- release completed decentralized-queue entries ----
             if self.kind == WindowKind::Decentralized {
@@ -397,7 +533,7 @@ impl ExecutionModel for OutOfOrder {
                         } else {
                             let rob_full = rob_tail - rob_head >= cfg.ooo_rob;
                             let slot_full = match self.kind {
-                                WindowKind::Unified => window.len() >= cfg.ooo_window,
+                                WindowKind::Unified => window_len >= cfg.ooo_window,
                                 WindowKind::Decentralized => {
                                     queue_len[Self::queue_of(&insts[idx])]
                                         >= cfg.ooo_decentralized_queue
@@ -412,34 +548,19 @@ impl ExecutionModel for OutOfOrder {
                     }
                     // A window entry wakes when its last finite dependence
                     // becomes visible; a dependence that has not issued
-                    // cannot complete inside a quiescent window.
-                    for &idx in &window {
-                        let ti = &insts[idx];
-                        let mut entry_wake: u64 = now;
-                        let mut unknowable = false;
-                        {
-                            let mut consider = |d: u64| {
-                                let c = complete[d as usize];
-                                if c == NOT_DONE {
-                                    unknowable = true;
-                                } else {
-                                    entry_wake = entry_wake.max(c + wakeup_delay);
-                                }
-                            };
-                            for &d in &ti.reg_deps {
-                                consider(d);
-                            }
-                            if let Some(d) = ti.mem_dep {
-                                consider(d);
-                            }
+                    // cannot complete inside a quiescent window. The
+                    // wakeup-driven state answers this in O(1): waiter-
+                    // linked entries are unknowable, the timer heap's
+                    // minimum is the next dependence-visible cycle, and a
+                    // non-empty ready list means the select loop must act.
+                    if !ready.is_empty() {
+                        break 'ff; // issueable now: the select loop acts
+                    }
+                    if let Some(&Reverse((t, _))) = timer.peek() {
+                        if t <= now {
+                            break 'ff;
                         }
-                        if unknowable {
-                            continue;
-                        }
-                        if entry_wake <= now {
-                            break 'ff; // issueable now: the select loop acts
-                        }
-                        wake = wake.min(entry_wake);
+                        wake = wake.min(t);
                     }
                     if rob_head < rob_tail {
                         let c = complete[rob_head];

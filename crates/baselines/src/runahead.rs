@@ -20,7 +20,6 @@
 //! pipelining.
 
 use std::borrow::Cow;
-use std::collections::HashMap;
 
 use ff_engine::{
     operand_wake, Activity, ExecutionModel, FuPool, MachineConfig, PendingKind, RetireEvent,
@@ -53,15 +52,31 @@ enum SpecVal {
 /// not present fall through to the architectural file, with validity taken
 /// from the scoreboard (a register whose writer is still in flight is
 /// unavailable *now* but may arrive during the episode).
-#[derive(Clone, Debug, Default)]
+///
+/// The overlay is a flat epoch-stamped array rather than a map: one
+/// allocation at model start, and "discard all speculative state" on
+/// episode entry is an epoch bump instead of a per-episode container —
+/// zero heap traffic no matter how many episodes a run enters.
+#[derive(Clone, Debug)]
 struct SpecRegs {
-    overlay: HashMap<usize, SpecVal>,
+    epoch: u64,
+    slots: Vec<(u64, SpecVal)>,
 }
 
 impl SpecRegs {
+    fn new() -> Self {
+        SpecRegs { epoch: 1, slots: vec![(0, SpecVal::Invalid); Reg::FLAT_COUNT] }
+    }
+
+    /// Discards every overlay entry (entries stamped with older epochs
+    /// read as absent).
+    fn reset(&mut self) {
+        self.epoch += 1;
+    }
+
     fn write(&mut self, r: Reg, v: SpecVal) {
         if !r.is_hardwired() {
-            self.overlay.insert(r.flat_index(), v);
+            self.slots[r.flat_index()] = (self.epoch, v);
         }
     }
 
@@ -71,10 +86,12 @@ impl SpecRegs {
         if r.is_hardwired() {
             return Some(state.read(r));
         }
-        match self.overlay.get(&r.flat_index()) {
-            Some(SpecVal::Valid { value, ready_at }) if *ready_at <= now => Some(*value),
-            Some(_) => None,
-            None => {
+        match &self.slots[r.flat_index()] {
+            (e, SpecVal::Valid { value, ready_at }) if *e == self.epoch && *ready_at <= now => {
+                Some(*value)
+            }
+            (e, _) if *e == self.epoch => None,
+            _ => {
                 if sb.ready(r, now) {
                     Some(state.read(r))
                 } else {
@@ -130,9 +147,12 @@ impl ExecutionModel for Runahead {
         let mut activity = Activity::new();
         let hook_enabled = hook.enabled();
 
-        // Runahead episode state: `Some((peek_seq, spec))` while running
-        // ahead of a blocking load.
-        let mut episode: Option<(u64, SpecRegs)> = None;
+        // Runahead episode state: `Some(peek_seq)` while running ahead of a
+        // blocking load. The speculative overlay persists across episodes
+        // (reset is an epoch bump), so episode entry allocates nothing.
+        let mut episode: Option<u64> = None;
+        let mut spec = SpecRegs::new();
+        activity.alloc_count += 1; // the overlay's single allocation
 
         let mut now: u64 = 0;
         let mut halted = false;
@@ -164,6 +184,7 @@ impl ExecutionModel for Runahead {
                     // Borrow the program's instruction rather than cloning
                     // the fetch buffer's copy into every issue slot.
                     let inst = program.inst(pc).expect("fetched pc is valid");
+                    activity.select_visits += 1;
 
                     if let Some(kind) = operand_stall(inst, &sb, now) {
                         stall = Some(kind);
@@ -288,7 +309,8 @@ impl ExecutionModel for Runahead {
 
                 // Enter runahead on a load-use stall.
                 if issued_arch == 0 && blocked_on_load && !halted {
-                    episode = Some((fetch.head_seq(), SpecRegs::default()));
+                    episode = Some(fetch.head_seq());
+                    spec.reset();
                     stats.spec_mode_entries += 1;
                 }
             }
@@ -298,7 +320,10 @@ impl ExecutionModel for Runahead {
                 // Exit check: is the blocking instruction ready now?
                 let head_ready = fetch
                     .get(fetch.head_seq())
-                    .map(|e| operand_stall(&e.inst, &sb, now).is_none())
+                    .map(|e| {
+                        let inst = program.inst(e.pc).expect("fetched pc is valid");
+                        operand_stall(inst, &sb, now).is_none()
+                    })
                     .unwrap_or(false);
                 if head_ready {
                     // Discard all speculative state; architectural execution
@@ -310,7 +335,8 @@ impl ExecutionModel for Runahead {
                     continue;
                 }
             }
-            if let Some((peek, spec)) = &mut episode {
+            if let Some(peek) = &mut episode {
+                let spec = &mut spec;
                 let mut pseudo_issued = 0u32;
                 while pseudo_issued < cfg.issue_width {
                     let (pc, predicted_next, snap) = match fetch.get(*peek) {
@@ -320,6 +346,7 @@ impl ExecutionModel for Runahead {
                         _ => break,
                     };
                     let inst = program.inst(pc).expect("fetched pc is valid");
+                    activity.select_visits += 1;
                     if !fu.try_issue(inst, now) {
                         break;
                     }
@@ -509,28 +536,35 @@ impl ExecutionModel for Runahead {
             // very cycle it is detected.
             if self.tick == TickMode::EventDriven && !halted {
                 if let Some(fetch_wake) = fetch.quiescent_until(now) {
+                    // The third tuple element is issue-select visits per
+                    // skipped cycle: a live stalled head is examined once
+                    // every polled cycle, a drained or not-yet-fetched head
+                    // is never examined.
                     let window = match fetch.get(fetch.head_seq()) {
-                        None => Some((u64::MAX, StallKind::FrontEnd)),
-                        Some(e) if e.fetched_at > now => Some((e.fetched_at, StallKind::FrontEnd)),
+                        None => Some((u64::MAX, StallKind::FrontEnd, 0)),
+                        Some(e) if e.fetched_at > now => {
+                            Some((e.fetched_at, StallKind::FrontEnd, 0))
+                        }
                         Some(e) => {
                             let inst = program.inst(e.pc).expect("fetched pc is valid");
                             match operand_stall(inst, &sb, now) {
                                 Some(kind) if kind != StallKind::Load => {
-                                    operand_wake(inst, &sb, now).map(|w| (w, kind))
+                                    operand_wake(inst, &sb, now).map(|w| (w, kind, 1))
                                 }
                                 Some(_) => None,
                                 None if !fu.can_issue_fresh(inst, now) => {
-                                    Some((fu.next_fp_release(now), StallKind::Other))
+                                    Some((fu.next_fp_release(now), StallKind::Other, 1))
                                 }
                                 None => None,
                             }
                         }
                     };
-                    if let Some((target, kind)) = window {
+                    if let Some((target, kind, visits)) = window {
                         let wake =
                             target.min(fetch_wake).min(mem.next_mshr_fill(now)).min(cycle_cap);
                         if wake > now {
                             stats.breakdown.charge_n(kind, wake - now);
+                            activity.select_visits += visits * (wake - now);
                             now = wake;
                         }
                     }

@@ -22,6 +22,17 @@
 //!    and retired instructions until at least [`MIN_SAMPLE`] of wall
 //!    clock has elapsed, so rates are averaged over a window long enough
 //!    to be stable.
+//! 3. The whole measurement repeats [`MEASURE_PASSES`] times and the
+//!    median pass (by cycles/sec) is recorded, so a single noisy
+//!    scheduling hiccup cannot skew a trajectory point or trip the gate.
+//!
+//! Each entry also records the run's simulator self-instrumentation —
+//! `select_visits` (issue-select examinations) and `alloc_count`
+//! (in-flight container growth events) — alongside `retired`, so the
+//! per-instruction cost of issue selection and the zero-steady-state-
+//! allocation invariant are tracked in the same trajectory. The document
+//! carries a host fingerprint (CPU model + core count); [`cli_main`]'s
+//! `check` warns when it compares measurements from different hosts.
 
 use std::path::{Path, PathBuf};
 use std::process::Command;
@@ -42,8 +53,13 @@ pub const MIN_SAMPLE: Duration = Duration::from_millis(200);
 /// Default regression tolerance for [`compare`]: 10%.
 pub const DEFAULT_TOLERANCE: f64 = 0.10;
 
-/// Schema version of the `BENCH_*.json` files.
-pub const BENCH_FORMAT: u64 = 1;
+/// Measurement passes per grid point; the median pass is recorded.
+pub const MEASURE_PASSES: usize = 3;
+
+/// Schema version of the `BENCH_*.json` files. Format 2 added the host
+/// fingerprint and the per-entry `retired`/`select_visits`/`alloc_count`
+/// counters.
+pub const BENCH_FORMAT: u64 = 2;
 
 /// The kernels every model is measured on. A mix of load-dominated
 /// (`mcf`, `gap`) and compute-dominated (`art`, `mesa`) workloads, all
@@ -93,6 +109,16 @@ pub struct Rate {
     pub insts_per_sec: f64,
     /// Full simulation repetitions inside the timed window.
     pub reps: u64,
+    /// Instructions retired by one full run (deterministic per grid
+    /// point; the denominator for the per-instruction counters below).
+    pub retired: u64,
+    /// Issue-select entries examined over one full run (tick-mode
+    /// invariant simulator self-instrumentation).
+    pub select_visits: u64,
+    /// In-flight container growth events over one full run. Flat after
+    /// warm-up; growth proportional to `retired` means a container is
+    /// being reallocated on the hot path.
+    pub alloc_count: u64,
 }
 
 /// Marks the wall-clock instant and simulated cycle at which the warm-up
@@ -112,6 +138,17 @@ impl RetireHook for WarmupHook {
     }
 }
 
+/// One pass of the steady-state measurement core.
+#[derive(Debug)]
+struct Sample {
+    cycles_per_sec: f64,
+    insts_per_sec: f64,
+    reps: u64,
+    retired: u64,
+    select_visits: u64,
+    alloc_count: u64,
+}
+
 /// Steady-state measurement core: warm-up guard plus timed repetitions.
 /// Split out of [`measure_one`] so the guard is testable on programs
 /// smaller than the production threshold.
@@ -120,7 +157,7 @@ fn steady_rate(
     case: &SimCase<'_>,
     warmup: u64,
     min_sample: Duration,
-) -> Result<(f64, f64, u64), String> {
+) -> Result<Sample, String> {
     // Warm-up run: the first `warmup` retirements train the host
     // (allocator, caches, branch predictors) and are excluded.
     let mut hook = WarmupHook { threshold: warmup, seen: 0, mark: None };
@@ -134,6 +171,11 @@ fn steady_rate(
     };
     let mut cycles = first.stats.cycles - warm_cycle;
     let mut insts = first.stats.retired - warmup;
+    // Self-instrumentation is deterministic per grid point, so one run's
+    // counters describe every repetition.
+    let retired = first.stats.retired;
+    let select_visits = first.activity.select_visits;
+    let alloc_count = first.activity.alloc_count;
 
     // Steady state: whole-run repetitions until the sample window is
     // long enough for a stable average.
@@ -145,10 +187,19 @@ fn steady_rate(
         reps += 1;
     }
     let secs = start.elapsed().as_secs_f64();
-    Ok((cycles as f64 / secs, insts as f64 / secs, reps))
+    Ok(Sample {
+        cycles_per_sec: cycles as f64 / secs,
+        insts_per_sec: insts as f64 / secs,
+        reps,
+        retired,
+        select_visits,
+        alloc_count,
+    })
 }
 
-/// Measures steady-state simulator throughput for one grid point.
+/// Measures steady-state simulator throughput for one grid point:
+/// [`MEASURE_PASSES`] independent passes, recording the median pass by
+/// cycles/sec so one scheduling hiccup cannot skew the trajectory.
 ///
 /// # Errors
 ///
@@ -159,18 +210,27 @@ pub fn measure_one(model: &str, kernel: &str, tick: TickMode) -> Result<Rate, St
         .ok_or_else(|| format!("unknown kernel `{kernel}`"))?;
     let machine = MachineConfig::itanium2_base();
     let case = SimCase::new(&w.program, w.mem.clone());
-    let mut m = build_model(model, machine);
-    m.set_tick_mode(tick);
-    let (cycles_per_sec, insts_per_sec, reps) =
-        steady_rate(&mut *m, &case, WARMUP_RETIREMENTS, MIN_SAMPLE)
-            .map_err(|e| format!("kernel `{kernel}`: {e}"))?;
+    let mut passes = Vec::with_capacity(MEASURE_PASSES);
+    for _ in 0..MEASURE_PASSES {
+        let mut m = build_model(model, machine);
+        m.set_tick_mode(tick);
+        passes.push(
+            steady_rate(&mut *m, &case, WARMUP_RETIREMENTS, MIN_SAMPLE)
+                .map_err(|e| format!("kernel `{kernel}`: {e}"))?,
+        );
+    }
+    passes.sort_by(|a, b| a.cycles_per_sec.total_cmp(&b.cycles_per_sec));
+    let median = passes.swap_remove(passes.len() / 2);
     Ok(Rate {
         model: model.to_string(),
         kernel: kernel.to_string(),
         tick: tick_name(tick).to_string(),
-        cycles_per_sec,
-        insts_per_sec,
-        reps,
+        cycles_per_sec: median.cycles_per_sec,
+        insts_per_sec: median.insts_per_sec,
+        reps: median.reps,
+        retired: median.retired,
+        select_visits: median.select_visits,
+        alloc_count: median.alloc_count,
     })
 }
 
@@ -191,8 +251,26 @@ pub fn measure_all() -> Result<Vec<Rate>, String> {
     Ok(out)
 }
 
+/// Host fingerprint recorded in every `BENCH_*.json`: the CPU model
+/// (from `/proc/cpuinfo`, when readable) plus the logical core count.
+/// Cycles/sec is a property of the (simulator, host) pair, so the gate
+/// warns when it compares documents from different fingerprints.
+pub fn host_fingerprint() -> String {
+    let model = std::fs::read_to_string("/proc/cpuinfo")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("model name"))
+                .and_then(|l| l.split(':').nth(1).map(|m| m.trim().to_string()))
+        })
+        .filter(|m| !m.is_empty())
+        .unwrap_or_else(|| "unknown-cpu".to_string());
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(0);
+    format!("{model} ({cores} cores)")
+}
+
 /// Renders measurements to the `BENCH_*.json` document.
-pub fn render_json(describe: &str, rates: &[Rate]) -> String {
+pub fn render_json(describe: &str, host: &str, rates: &[Rate]) -> String {
     let entries = rates
         .iter()
         .map(|r| {
@@ -203,13 +281,18 @@ pub fn render_json(describe: &str, rates: &[Rate]) -> String {
                 ("cycles_per_sec", Json::F64(r.cycles_per_sec)),
                 ("insts_per_sec", Json::F64(r.insts_per_sec)),
                 ("reps", Json::U64(r.reps)),
+                ("retired", Json::U64(r.retired)),
+                ("select_visits", Json::U64(r.select_visits)),
+                ("alloc_count", Json::U64(r.alloc_count)),
             ])
         })
         .collect();
     Json::obj(vec![
         ("format", Json::U64(BENCH_FORMAT)),
         ("describe", Json::Str(describe.to_string())),
+        ("host", Json::Str(host.to_string())),
         ("warmup_retirements", Json::U64(WARMUP_RETIREMENTS)),
+        ("measure_passes", Json::U64(MEASURE_PASSES as u64)),
         ("entries", Json::Arr(entries)),
     ])
     .render()
@@ -248,9 +331,28 @@ pub fn parse_json(text: &str) -> Result<Vec<Rate>, String> {
                 cycles_per_sec: f64_field(e, "cycles_per_sec")?,
                 insts_per_sec: f64_field(e, "insts_per_sec")?,
                 reps: e.get("reps").and_then(Json::as_u64).ok_or("missing reps")?,
+                retired: e.get("retired").and_then(Json::as_u64).ok_or("missing retired")?,
+                select_visits: e
+                    .get("select_visits")
+                    .and_then(Json::as_u64)
+                    .ok_or("missing select_visits")?,
+                alloc_count: e
+                    .get("alloc_count")
+                    .and_then(Json::as_u64)
+                    .ok_or("missing alloc_count")?,
             })
         })
         .collect()
+}
+
+/// The host fingerprint recorded in a `BENCH_*.json` document.
+///
+/// # Errors
+///
+/// Fails on malformed JSON or a missing `host` field.
+pub fn parse_host(text: &str) -> Result<String, String> {
+    let doc = Json::parse(text)?;
+    str_field(&doc, "host")
 }
 
 /// Per-model geometric mean of `cycles_per_sec` over every kernel, for
@@ -312,6 +414,21 @@ pub fn repo_root() -> PathBuf {
         .unwrap_or_else(|_| Path::new(env!("CARGO_MANIFEST_DIR")).join("../.."))
 }
 
+/// Resolves a CLI path argument against the repository root when it is
+/// relative. `cargo bench` runs the binary with the *package* directory
+/// as its cwd, but `BENCH_*.json` trajectories live at the repo root —
+/// anchoring there makes `--out BENCH_main.json` and
+/// `--baseline BENCH_main.json` mean the committed file regardless of
+/// how the binary was launched. Absolute paths pass through untouched.
+fn resolve_path(p: &str) -> PathBuf {
+    let path = Path::new(p);
+    if path.is_absolute() {
+        path.to_path_buf()
+    } else {
+        repo_root().join(path)
+    }
+}
+
 /// `git describe --always --dirty` of the repository, or `dev` when git
 /// is unavailable. Path separators are sanitized so the result is always
 /// a valid file-name component.
@@ -335,13 +452,21 @@ pub fn git_describe() -> String {
 
 fn print_table(rates: &[Rate]) {
     println!(
-        "{:<10} {:<6} {:<8} {:>15} {:>15} {:>6}",
-        "model", "kernel", "tick", "cycles/sec", "insts/sec", "reps"
+        "{:<10} {:<6} {:<8} {:>15} {:>15} {:>6} {:>12} {:>7}",
+        "model", "kernel", "tick", "cycles/sec", "insts/sec", "reps", "visits/inst", "allocs"
     );
     for r in rates {
+        let vpi = if r.retired > 0 { r.select_visits as f64 / r.retired as f64 } else { 0.0 };
         println!(
-            "{:<10} {:<6} {:<8} {:>15.0} {:>15.0} {:>6}",
-            r.model, r.kernel, r.tick, r.cycles_per_sec, r.insts_per_sec, r.reps
+            "{:<10} {:<6} {:<8} {:>15.0} {:>15.0} {:>6} {:>12.2} {:>7}",
+            r.model,
+            r.kernel,
+            r.tick,
+            r.cycles_per_sec,
+            r.insts_per_sec,
+            r.reps,
+            vpi,
+            r.alloc_count
         );
     }
     println!();
@@ -356,10 +481,10 @@ fn measure_and_write(out: Option<&str>) -> Result<Vec<Rate>, String> {
     print_table(&rates);
     let describe = git_describe();
     let path = match out {
-        Some(p) => PathBuf::from(p),
+        Some(p) => resolve_path(p),
         None => repo_root().join(format!("BENCH_{describe}.json")),
     };
-    std::fs::write(&path, render_json(&describe, &rates) + "\n")
+    std::fs::write(&path, render_json(&describe, &host_fingerprint(), &rates) + "\n")
         .map_err(|e| format!("writing {}: {e}", path.display()))?;
     println!("\nwrote {}", path.display());
     Ok(rates)
@@ -407,18 +532,35 @@ pub fn cli_main(argv: &[String]) -> i32 {
                     return 2;
                 }
             };
-            let baseline = match std::fs::read_to_string(baseline_path)
+            let baseline_text = match std::fs::read_to_string(resolve_path(baseline_path))
                 .map_err(|e| format!("reading {baseline_path}: {e}"))
-                .and_then(|t| parse_json(&t))
             {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return 2;
+                }
+            };
+            let baseline = match parse_json(&baseline_text) {
                 Ok(b) => b,
                 Err(e) => {
                     eprintln!("error: {e}");
                     return 2;
                 }
             };
+            // Cross-host comparisons are advisory, not gating: the rates
+            // measure the (simulator, host) pair.
+            if let Ok(base_host) = parse_host(&baseline_text) {
+                let here = host_fingerprint();
+                if base_host != here {
+                    eprintln!(
+                        "warning: baseline host `{base_host}` differs from this host \
+                         `{here}` — absolute rates are not comparable across hosts"
+                    );
+                }
+            }
             let current = match flag("--current") {
-                Some(p) => match std::fs::read_to_string(p)
+                Some(p) => match std::fs::read_to_string(resolve_path(p))
                     .map_err(|e| format!("reading {p}: {e}"))
                     .and_then(|t| parse_json(&t))
                 {
@@ -490,6 +632,9 @@ mod tests {
             cycles_per_sec: cps,
             insts_per_sec: cps / 3.0,
             reps: 5,
+            retired: 10_000,
+            select_visits: 12_345,
+            alloc_count: 4,
         }
     }
 
@@ -499,9 +644,16 @@ mod tests {
             rate("inorder", "mcf", "event", 1.5e6),
             rate("multipass", "gap", "polling", 2.0e6),
         ];
-        let text = render_json("v1.2-3-gabc", &rates);
+        let text = render_json("v1.2-3-gabc", "test-cpu (8 cores)", &rates);
         let back = parse_json(&text).unwrap();
         assert_eq!(back, rates);
+        assert_eq!(parse_host(&text).unwrap(), "test-cpu (8 cores)");
+    }
+
+    #[test]
+    fn fingerprint_is_nonempty_and_counts_cores() {
+        let h = host_fingerprint();
+        assert!(h.contains("cores"), "{h}");
     }
 
     #[test]

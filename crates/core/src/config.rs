@@ -70,6 +70,13 @@ pub struct MultipassConfig {
     /// value *without* it — reintroducing the stale-forwarding bug class
     /// where rally merges an unverified value.
     pub fault_stale_asc_forward: Option<u64>,
+    /// Fault-injection hook (`ff-sentinel`): the `N`-th execution-op
+    /// wakeup insertion (0-based, counted over architectural multi-cycle
+    /// result writebacks) is dropped — the destination register's
+    /// scoreboard entry is wedged essentially forever. Models a lost
+    /// insertion into a wakeup-driven ready structure: consumers of the
+    /// register never transition back to ready.
+    pub fault_drop_ready_insert: Option<u64>,
 }
 
 impl MultipassConfig {
@@ -89,6 +96,7 @@ impl MultipassConfig {
             fault_warp_cache_latency: None,
             fault_lose_mshr_dealloc: None,
             fault_stale_asc_forward: None,
+            fault_drop_ready_insert: None,
         }
     }
 

@@ -18,19 +18,17 @@
 //!   data-speculative loads value-wise, and dropping back to architectural
 //!   mode once DEQ catches the high-water PEEK mark.
 
-use std::borrow::Cow;
-use std::collections::BTreeMap;
-
 use ff_engine::{
     operand_stall, operand_wake, Activity, AscForwardObs, CycleObs, EpisodeWindow, ExecutionModel,
-    FuPool, MachineConfig, MemAccessObs, NullProbe, NullRetireHook, PendingKind, PipelineProbe,
-    RetireEvent, RetireHook, RetireMode, RunError, RunResult, RunStats, Scoreboard, SimCase,
-    StallKind, TickMode,
+    FuPool, InFlightIndex, MachineConfig, MemAccessObs, NullProbe, NullRetireHook, PendingKind,
+    PipelineProbe, RetireEvent, RetireHook, RetireMode, RunError, RunResult, RunStats, Scoreboard,
+    SimCase, StallKind, TickMode,
 };
 use ff_frontend::{FetchUnit, Gshare};
 use ff_isa::eval::{alu, effective_address};
 use ff_isa::{ArchState, Op, Program, Reg};
 use ff_mem::{AccessKind, MemAccess, MemorySystem};
+use std::borrow::Cow;
 
 use crate::asc::{AdvanceStoreCache, AscData, AscLookup};
 use crate::config::{MultipassConfig, RestartStrategy};
@@ -100,10 +98,13 @@ struct Core<'a> {
     activity: Activity,
     srf: Srf,
     asc: AdvanceStoreCache,
-    /// Multipass per-instruction state, keyed by sequence number. A
-    /// `BTreeMap` keeps squash/drop iteration order-stable so runs are
-    /// bit-for-bit deterministic.
-    entries: BTreeMap<u64, MpEntry>,
+    /// Multipass per-instruction state, keyed by sequence number. The
+    /// ring-buffer index exploits monotonic seq allocation: it iterates in
+    /// ascending seq order (so squash/drop stay bit-for-bit deterministic,
+    /// exactly like the `BTreeMap` it replaced) and, sized to the fetch
+    /// buffer span, performs zero heap allocation per instruction in
+    /// steady state (DESIGN.md §7e).
+    entries: InFlightIndex<MpEntry>,
     mode: Mode,
     /// PEEK pointer (sequence number) during advance mode.
     peek: u64,
@@ -142,6 +143,7 @@ struct Core<'a> {
     probe_enabled: bool,
     /// Architectural load wakeups scheduled so far (fault-injection index).
     load_pends: u64,
+    exec_pends: u64,
     /// ASC forwards with the S bit set so far (fault-injection index).
     speculative_forwards: u64,
     /// Per-cycle tick strategy. Event-driven runs must be bit-for-bit
@@ -186,7 +188,10 @@ impl<'a> Core<'a> {
             activity: Activity::new(),
             srf: Srf::new(),
             asc: AdvanceStoreCache::new(config.asc_entries, config.asc_assoc),
-            entries: BTreeMap::new(),
+            // In-flight seqs span at most the fetch buffer (entries are
+            // created at issue and dropped at DEQ/squash), so sizing the
+            // ring to it makes steady-state allocation zero.
+            entries: InFlightIndex::with_span(machine.multipass_iq + 2),
             mode: Mode::Architectural,
             peek: 0,
             trigger: 0,
@@ -204,6 +209,7 @@ impl<'a> Core<'a> {
             probe,
             probe_enabled,
             load_pends: 0,
+            exec_pends: 0,
             speculative_forwards: 0,
             tick: TickMode::default(),
             now: 0,
@@ -232,6 +238,21 @@ impl<'a> Core<'a> {
             self.load_pends += 1;
         }
         self.sb.set_pending(d, at, PendingKind::Load);
+    }
+
+    /// Schedules an execution-op writeback wakeup, routing through the
+    /// dropped-ready-insert fault: the faulted insertion lands in the
+    /// unreachable future, so consumers of `d` never transition back to
+    /// ready.
+    fn pend_exec(&mut self, d: Reg, ready_at: u64) {
+        let mut at = ready_at;
+        if let Some(n) = self.cfg.fault_drop_ready_insert {
+            if self.exec_pends == n {
+                at = u64::MAX / 2;
+            }
+            self.exec_pends += 1;
+        }
+        self.sb.set_pending(d, at, PendingKind::Exec);
     }
 
     /// Publishes a completed data access to the probe.
@@ -265,11 +286,11 @@ impl<'a> Core<'a> {
     }
 
     fn entry(&self, seq: u64) -> MpEntry {
-        self.entries.get(&seq).copied().unwrap_or_default()
+        self.entries.get(seq).copied().unwrap_or_default()
     }
 
     fn set_smaq(&mut self, seq: u64, addr: u64) {
-        let e = self.entries.entry(seq).or_default();
+        let e = self.entries.get_or_default(seq);
         if e.smaq_addr.is_none() {
             self.smaq_count += 1;
             self.activity.smaq_accesses += 1;
@@ -278,19 +299,22 @@ impl<'a> Core<'a> {
     }
 
     fn drop_entry(&mut self, seq: u64) {
-        if let Some(e) = self.entries.remove(&seq) {
+        if let Some(e) = self.entries.remove(seq) {
             if e.smaq_addr.is_some() {
                 self.smaq_count = self.smaq_count.saturating_sub(1);
             }
         }
     }
 
-    /// Removes multipass state for every entry with `seq >= from`.
+    /// Removes multipass state for every entry with `seq >= from`, in
+    /// ascending seq order (matching the old `BTreeMap` range scan).
     fn squash_entries_from(&mut self, from: u64) {
-        let seqs: Vec<u64> = self.entries.range(from..).map(|(&s, _)| s).collect();
-        for s in seqs {
-            self.drop_entry(s);
-        }
+        let smaq_count = &mut self.smaq_count;
+        self.entries.squash_from(from, |_, e| {
+            if e.smaq_addr.is_some() {
+                *smaq_count = smaq_count.saturating_sub(1);
+            }
+        });
     }
 
     /// [`RetireMode`] corresponding to the current pipeline mode.
@@ -353,7 +377,8 @@ impl<'a> Core<'a> {
         if ent.e_bit {
             ent.rs_available(self.now)
         } else {
-            operand_stall(&fe.inst, &self.sb, self.now).is_none()
+            let inst = self.program.inst(fe.pc).expect("fetched pc is valid");
+            operand_stall(inst, &self.sb, self.now).is_none()
         }
     }
 
@@ -414,6 +439,7 @@ impl<'a> Core<'a> {
             let inst = program.inst(pc).expect("fetched pc is valid");
             let ends_group = inst.ends_group();
             let ent = self.entry(seq);
+            self.activity.select_visits += 1;
 
             // Crossing a compiler stop bit requires regrouping.
             if issued > 0 && prev_ended_group {
@@ -607,11 +633,7 @@ impl<'a> Core<'a> {
                             let v = alu(op, a, b, inst.imm_val());
                             if let Some(d) = inst.writes() {
                                 self.state.write(d, v);
-                                self.sb.set_pending(
-                                    d,
-                                    self.now + op.latency() as u64,
-                                    PendingKind::Exec,
-                                );
+                                self.pend_exec(d, self.now + op.latency() as u64);
                                 self.activity.regfile_writes += 1;
                             }
                             self.stats.executions += 1;
@@ -722,6 +744,7 @@ impl<'a> Core<'a> {
             let ends_group = inst.ends_group();
             let ent = self.entry(seq);
             self.activity.iq_reads += 1;
+            self.activity.select_visits += 1;
 
             // Group-boundary rule mirrors rally: regrouping (with E-bits)
             // merges across stop bits, otherwise one group per cycle.
@@ -793,7 +816,7 @@ impl<'a> Core<'a> {
                     if !taint {
                         if inst.is_predicated() && !ent.branch_trained {
                             self.fetch.predictor_mut().update(pc, snap, taken);
-                            let e = self.entries.entry(seq).or_default();
+                            let e = self.entries.get_or_default(seq);
                             e.branch_trained = true;
                         }
                         let stream_next = self.entry(seq).resolved_next.unwrap_or(predicted_next);
@@ -808,7 +831,7 @@ impl<'a> Core<'a> {
                                 taken,
                             );
                             self.after_fetch_flush();
-                            let e = self.entries.entry(seq).or_default();
+                            let e = self.entries.get_or_default(seq);
                             e.resolved_next = Some(actual_next);
                             // The pass continues at the corrected stream
                             // once it is refetched.
@@ -817,7 +840,7 @@ impl<'a> Core<'a> {
                             break 'insts;
                         }
                         // Correctly-followed branch: preserve as resolved.
-                        let e = self.entries.entry(seq).or_default();
+                        let e = self.entries.get_or_default(seq);
                         e.e_bit = true;
                         e.result = Some(RsResult::Nop);
                         e.rs_ready_at = self.now;
@@ -845,7 +868,7 @@ impl<'a> Core<'a> {
                 Some((false, t)) => {
                     // Predicated off. Preserve the no-op unless tainted.
                     if !t {
-                        let e = self.entries.entry(seq).or_default();
+                        let e = self.entries.get_or_default(seq);
                         e.e_bit = true;
                         e.result = Some(RsResult::Nop);
                         e.rs_ready_at = self.now;
@@ -908,7 +931,7 @@ impl<'a> Core<'a> {
                         }
                     }
                     Op::Nop => {
-                        let e = self.entries.entry(seq).or_default();
+                        let e = self.entries.get_or_default(seq);
                         e.e_bit = true;
                         e.result = Some(RsResult::Nop);
                         e.rs_ready_at = self.now;
@@ -980,7 +1003,7 @@ impl<'a> Core<'a> {
                                         },
                                     );
                                 }
-                                let e = self.entries.entry(seq).or_default();
+                                let e = self.entries.get_or_default(seq);
                                 e.e_bit = true;
                                 e.result = Some(RsResult::Value(value));
                                 e.rs_ready_at = self.now + 1;
@@ -1007,7 +1030,7 @@ impl<'a> Core<'a> {
                                         executions += 1;
                                         self.stats.executions += 1;
                                         self.mark_slot_work();
-                                        let e = self.entries.entry(seq).or_default();
+                                        let e = self.entries.get_or_default(seq);
                                         e.e_bit = true;
                                         e.result = Some(RsResult::Value(v));
                                         e.rs_ready_at = complete_at;
@@ -1081,7 +1104,7 @@ impl<'a> Core<'a> {
                                     addr,
                                     AscData::Valid { value: dv, tainted: taint, seq },
                                 );
-                                let e = self.entries.entry(seq).or_default();
+                                let e = self.entries.get_or_default(seq);
                                 e.e_bit = true;
                                 e.result = Some(RsResult::Store { addr, data: dv });
                                 e.rs_ready_at = self.now;
@@ -1130,7 +1153,7 @@ impl<'a> Core<'a> {
                                         SrfVal::Valid { value: v, ready_at: ready, tainted: taint },
                                     );
                                 }
-                                let e = self.entries.entry(seq).or_default();
+                                let e = self.entries.get_or_default(seq);
                                 e.e_bit = true;
                                 e.result = Some(RsResult::Value(v));
                                 e.rs_ready_at = ready;
@@ -1200,7 +1223,8 @@ impl<'a> Core<'a> {
         if ent.e_bit {
             ent.rs_ready_at
         } else {
-            operand_wake(&fe.inst, &self.sb, self.now).unwrap_or(u64::MAX)
+            let inst = self.program.inst(fe.pc).expect("fetched pc is valid");
+            operand_wake(inst, &self.sb, self.now).unwrap_or(u64::MAX)
         }
     }
 
@@ -1229,24 +1253,30 @@ impl<'a> Core<'a> {
         let Some(fetch_wake) = self.fetch.quiescent_until(self.now) else {
             return;
         };
-        let (target, kind) = if self.now < self.stall_until {
+        // The third tuple element is issue-select visits per skipped
+        // cycle: only the architectural/rally live-head operand stall
+        // re-examines the head every polled cycle; every other skippable
+        // window never enters an issue loop (stall penalty, timed advance
+        // wait, dead PEEK) or fails the issue gate (drained or
+        // not-yet-fetched head).
+        let (target, kind, visits) = if self.now < self.stall_until {
             // Value-misspeculation flush penalty: pure wait.
-            (self.stall_until, StallKind::Other)
+            (self.stall_until, StallKind::Other, 0)
         } else {
             match self.mode {
                 Mode::Advance => {
                     if self.now < self.advance_wait_until {
                         // Restarted pass timed to meet an arrival; the
                         // head may become issueable first (rally entry).
-                        (self.advance_wait_until.min(self.head_wake()), StallKind::Load)
+                        (self.advance_wait_until.min(self.head_wake()), StallKind::Load, 0)
                     } else {
                         match self.fetch.get(self.peek) {
                             // PEEK ran past fetch: advance issue is a
                             // no-op until the head wakes (fetch arrivals
                             // bound the window via `fetch_wake`).
-                            None => (self.head_wake(), StallKind::Load),
+                            None => (self.head_wake(), StallKind::Load, 0),
                             Some(fe) if fe.fetched_at > self.now => {
-                                (self.head_wake().min(fe.fetched_at), StallKind::Load)
+                                (self.head_wake().min(fe.fetched_at), StallKind::Load, 0)
                             }
                             // The PEEK entry is live: advance would work.
                             Some(_) => return,
@@ -1256,9 +1286,9 @@ impl<'a> Core<'a> {
                 Mode::Architectural | Mode::Rally => {
                     let seq = self.fetch.head_seq();
                     match self.fetch.get(seq) {
-                        None => (u64::MAX, StallKind::FrontEnd),
+                        None => (u64::MAX, StallKind::FrontEnd, 0),
                         Some(fe) if fe.fetched_at > self.now => {
-                            (fe.fetched_at, StallKind::FrontEnd)
+                            (fe.fetched_at, StallKind::FrontEnd, 0)
                         }
                         Some(fe) => {
                             if self.entry(seq).e_bit {
@@ -1266,12 +1296,13 @@ impl<'a> Core<'a> {
                                 // advance mode this very cycle.
                                 return;
                             }
-                            match operand_stall(&fe.inst, &self.sb, self.now) {
+                            let inst = self.program.inst(fe.pc).expect("fetched pc is valid");
+                            match operand_stall(inst, &self.sb, self.now) {
                                 // A Load stall enters advance mode the
                                 // same cycle: not skippable.
                                 Some(k) if k != StallKind::Load => {
-                                    match operand_wake(&fe.inst, &self.sb, self.now) {
-                                        Some(w) => (w, k),
+                                    match operand_wake(inst, &self.sb, self.now) {
+                                        Some(w) => (w, k, 1),
                                         None => return,
                                     }
                                 }
@@ -1292,12 +1323,14 @@ impl<'a> Core<'a> {
             while self.now < wake {
                 self.probe_cycle();
                 self.stats.breakdown.charge(kind);
+                self.activity.select_visits += visits;
                 self.bump_mode_cycles();
                 self.now += 1;
             }
         } else {
             let skipped = wake - self.now;
             self.stats.breakdown.charge_n(kind, skipped);
+            self.activity.select_visits += visits * skipped;
             match self.mode {
                 Mode::Advance => self.stats.spec_mode_cycles += skipped,
                 Mode::Rally => self.stats.rally_cycles += skipped,
@@ -1396,6 +1429,10 @@ impl<'a> Core<'a> {
         self.activity.iq_writes = self.fetch.fetched();
         self.activity.srf_reads = self.srf.read_count();
         self.activity.srf_writes = self.srf.write_count();
+        // Growth events of the in-flight entry ring: 1 for the initial
+        // allocation, and nothing further once warm (the steady-state
+        // zero-allocation invariant, asserted in tests/tick_equivalence.rs).
+        self.activity.alloc_count += self.entries.alloc_events();
 
         // The simulation is finished: move the stats and final state out
         // instead of cloning them (the architectural memory image can be

@@ -50,6 +50,14 @@ pub struct Activity {
     pub smaq_accesses: u64,
     /// Advance-store-cache accesses (multipass).
     pub asc_accesses: u64,
+    // ---- simulator self-instrumentation (tick-mode invariant) ----
+    /// Live in-flight entries examined by issue select. With wakeup-driven
+    /// ready sets this scales with instructions that *become* ready, not
+    /// with window size x cycles.
+    pub select_visits: u64,
+    /// Growth events of in-flight state containers (slab/ring/overlay).
+    /// Zero per retired instruction once the pipeline reaches steady state.
+    pub alloc_count: u64,
 }
 
 impl Activity {
@@ -89,6 +97,8 @@ impl Add for Activity {
             store_buffer_searches: self.store_buffer_searches + r.store_buffer_searches,
             smaq_accesses: self.smaq_accesses + r.smaq_accesses,
             asc_accesses: self.asc_accesses + r.asc_accesses,
+            select_visits: self.select_visits + r.select_visits,
+            alloc_count: self.alloc_count + r.alloc_count,
         }
     }
 }

@@ -19,7 +19,10 @@
 //! * [`ExecutionModel`] — the trait every pipeline model implements, and
 //!   [`SimCase`]/[`RunResult`] — its input/output types;
 //! * [`RetireHook`]/[`RetireEvent`] — retirement-granularity
-//!   instrumentation consumed by the `ff-debug` triage tooling.
+//!   instrumentation consumed by the `ff-debug` triage tooling;
+//! * [`Slab`]/[`InFlightIndex`] — allocation-free in-flight state
+//!   containers backing the steady-state zero-allocation invariant
+//!   (DESIGN.md §7e).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -31,6 +34,7 @@ pub mod model;
 pub mod probe;
 pub mod retire;
 pub mod scoreboard;
+pub mod slab;
 pub mod stats;
 pub mod trace;
 
@@ -41,5 +45,6 @@ pub use model::{ExecutionModel, RunError, RunResult, SimCase, TickMode};
 pub use probe::{AscForwardObs, CycleObs, MemAccessObs, NullProbe, PipelineProbe, RetireTee};
 pub use retire::{EpisodeWindow, NullRetireHook, RetireEvent, RetireHook, RetireMode, RetireRing};
 pub use scoreboard::{operand_stall, operand_wake, PendingKind, Scoreboard};
+pub use slab::{InFlightIndex, Slab, SlotId};
 pub use stats::{RunStats, StallKind};
 pub use trace::{DynTrace, TraceInst};

@@ -114,6 +114,24 @@ impl RetireEvent<'_> {
             episode: self.episode,
         }
     }
+
+    /// Like [`RetireEvent::into_owned`] but from a shared reference:
+    /// every field except the instruction is `Copy`, so detaching costs
+    /// exactly one `Inst` clone — never an intermediate whole-event clone.
+    pub fn to_detached(&self) -> RetireEvent<'static> {
+        RetireEvent {
+            seq: self.seq,
+            cycle: self.cycle,
+            pc: self.pc,
+            inst: Cow::Owned(self.inst.as_ref().clone()),
+            qp_true: self.qp_true,
+            wrote: self.wrote,
+            stored: self.stored,
+            mode: self.mode,
+            merged: self.merged,
+            episode: self.episode,
+        }
+    }
 }
 
 impl fmt::Display for RetireEvent<'_> {
@@ -188,10 +206,14 @@ impl RetireRing {
     /// Records one event (detaching it from its program), evicting the
     /// oldest when full.
     pub fn push(&mut self, event: RetireEvent<'_>) {
+        self.push_owned(event.into_owned());
+    }
+
+    fn push_owned(&mut self, event: RetireEvent<'static>) {
         if self.events.len() == self.capacity {
             self.events.pop_front();
         }
-        self.events.push_back(event.into_owned());
+        self.events.push_back(event);
         self.total += 1;
     }
 
@@ -223,7 +245,7 @@ impl RetireRing {
 
 impl RetireHook for RetireRing {
     fn on_retire(&mut self, event: &RetireEvent<'_>) {
-        self.push(event.clone());
+        self.push_owned(event.to_detached());
     }
 }
 

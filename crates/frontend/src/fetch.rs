@@ -9,7 +9,7 @@
 
 use std::collections::VecDeque;
 
-use ff_isa::{Inst, Op, Pc, Program};
+use ff_isa::{Op, Pc, Program};
 use ff_mem::{AccessKind, MemAccess, MemorySystem};
 
 use crate::gshare::Gshare;
@@ -21,8 +21,12 @@ pub struct FetchedInst {
     pub seq: u64,
     /// Static location of the instruction.
     pub pc: Pc,
-    /// The instruction itself.
-    pub inst: Inst,
+    /// The operation (a plain `Copy` — backends that need operand registers
+    /// re-read the full [`Inst`] via `program.inst(pc)`, which avoids
+    /// cloning the register arrays through every buffered entry).
+    pub op: Op,
+    /// Whether the instruction carries a non-trivial qualifying predicate.
+    pub predicated: bool,
     /// The pc the fetch stream continued at after this instruction
     /// (`None` after `Halt`). Branch resolution compares the actual
     /// successor against this.
@@ -38,7 +42,7 @@ pub struct FetchedInst {
 impl FetchedInst {
     /// Whether this entry is a conditional branch that consulted gshare.
     pub fn used_predictor(&self) -> bool {
-        matches!(self.inst.op(), Op::Br { .. }) && self.inst.is_predicated()
+        matches!(self.op, Op::Br { .. }) && self.predicated
     }
 }
 
@@ -127,7 +131,7 @@ impl FetchUnit {
                 break;
             }
             let inst = match program.inst(pc) {
-                Some(i) => i.clone(),
+                Some(i) => i,
                 None => {
                     self.fetch_pc = None;
                     return;
@@ -164,7 +168,8 @@ impl FetchUnit {
             self.buffer.push_back(FetchedInst {
                 seq: self.next_seq,
                 pc,
-                inst,
+                op: *inst.op(),
+                predicated: inst.is_predicated(),
                 predicted_next,
                 predicted_taken,
                 history_snapshot,
@@ -293,7 +298,7 @@ impl FetchUnit {
         // next_seq may have been reduced; keep monotonicity with head.
         debug_assert!(self.next_seq >= self.head_seq);
         self.fetch_pc = new_pc;
-        self.fetched_halt = self.buffer.iter().any(|f| matches!(f.inst.op(), Op::Halt));
+        self.fetched_halt = self.buffer.iter().any(|f| matches!(f.op, Op::Halt));
         self.blocked_until = self.blocked_until.max(resume_at);
         self.predictor.repair(snapshot, actual_taken);
     }
@@ -327,7 +332,7 @@ impl FetchUnit {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ff_isa::{program::BlockId, Reg};
+    use ff_isa::{program::BlockId, Inst, Reg};
     use ff_mem::HierarchyConfig;
 
     fn straightline(n: usize) -> Program {
@@ -377,7 +382,7 @@ mod tests {
         assert!(f.halted());
         assert_eq!(f.len(), 4); // 3 adds + halt
         let last = f.get(3).unwrap();
-        assert!(matches!(last.inst.op(), Op::Halt));
+        assert!(matches!(last.op, Op::Halt));
         assert_eq!(last.predicted_next, None);
         // Further ticks fetch nothing.
         let n = f.len();
@@ -508,7 +513,7 @@ mod tests {
             now += 1;
         }
         let br2 = f.get(1).unwrap();
-        assert!(matches!(br2.inst.op(), Op::Br { .. }));
+        assert!(matches!(br2.op, Op::Br { .. }));
         assert!(br2.predicted_taken, "trained branch should fetch the backedge");
         assert_eq!(f.get(2).unwrap().pc, Pc::new(BlockId(0), 0));
     }

@@ -372,7 +372,12 @@ mod tests {
         assert!(store.contains(&spec));
         let loaded = store.result(ModelKind::InOrder, HierKind::Base, "mesa");
         assert_eq!(loaded.stats, live.stats);
-        assert_eq!(loaded.activity, live.activity);
+        // Artifacts deliberately exclude the simulator's self-instrumentation
+        // counters, so the round trip zeroes them; everything else survives.
+        let mut expected = live.activity;
+        expected.select_visits = 0;
+        expected.alloc_count = 0;
+        assert_eq!(loaded.activity, expected);
         assert_eq!(loaded.mem_stats, live.mem_stats);
         std::fs::remove_dir_all(&dir).unwrap();
     }

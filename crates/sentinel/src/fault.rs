@@ -41,16 +41,21 @@ pub enum FaultClass {
     /// The `N`-th ASC forward that should carry the data-speculation (S)
     /// bit forwards without it, skipping rally verification.
     StaleAscForward,
+    /// The `N`-th execution-op wakeup insertion is dropped: the
+    /// destination register never transitions back to ready, modeling a
+    /// lost insertion into a wakeup-driven ready set.
+    DroppedReadyInsert,
 }
 
 impl FaultClass {
-    /// All five classes.
-    pub const ALL: [FaultClass; 5] = [
+    /// All six classes.
+    pub const ALL: [FaultClass; 6] = [
         FaultClass::RegisterBitFlip,
         FaultClass::DroppedWakeup,
         FaultClass::WarpedCacheLatency,
         FaultClass::LostMshrDealloc,
         FaultClass::StaleAscForward,
+        FaultClass::DroppedReadyInsert,
     ];
 
     /// Stable short name (used by the CLI and CI).
@@ -61,6 +66,7 @@ impl FaultClass {
             FaultClass::WarpedCacheLatency => "warp-latency",
             FaultClass::LostMshrDealloc => "lost-mshr",
             FaultClass::StaleAscForward => "stale-asc",
+            FaultClass::DroppedReadyInsert => "dropped-ready-insert",
         }
     }
 
@@ -77,6 +83,7 @@ impl FaultClass {
             FaultClass::WarpedCacheLatency => &["scoreboard-srf"],
             FaultClass::LostMshrDealloc => &["mshr"],
             FaultClass::StaleAscForward => &["asc"],
+            FaultClass::DroppedReadyInsert => &["scoreboard-srf"],
         }
     }
 
@@ -88,6 +95,7 @@ impl FaultClass {
             FaultClass::WarpedCacheLatency => cfg.fault_warp_cache_latency = Some(index),
             FaultClass::LostMshrDealloc => cfg.fault_lose_mshr_dealloc = Some(index),
             FaultClass::StaleAscForward => cfg.fault_stale_asc_forward = Some(index),
+            FaultClass::DroppedReadyInsert => cfg.fault_drop_ready_insert = Some(index),
         }
     }
 

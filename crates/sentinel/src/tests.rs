@@ -162,6 +162,24 @@ fn dropped_wakeup_is_caught_within_the_latency_slack() {
 }
 
 #[test]
+fn dropped_ready_insert_is_caught_within_the_latency_slack() {
+    // A wakeup insertion lost on an exec writeback wedges the destination
+    // register's scoreboard entry; the scoreboard sentinel must see the
+    // impossible drain horizon immediately, not at the watchdog.
+    let report = run_faulted(FaultClass::DroppedReadyInsert, 0);
+    let first = report
+        .violations
+        .iter()
+        .find(|v| v.sentinel == "scoreboard-srf")
+        .expect("scoreboard sentinel must fire on a dropped ready insertion");
+    assert!(
+        first.cycle < crate::checkers::LATENCY_SLACK + 1_000,
+        "detection at cycle {} is too late",
+        first.cycle
+    );
+}
+
+#[test]
 fn synthetic_violations_respect_the_suite_cap() {
     struct AlwaysFire;
     impl Sentinel for AlwaysFire {

@@ -100,23 +100,61 @@ fn event_driven_matches_polling_on_every_grid_point() {
 
 /// The campaign artifact for a grid point must not depend on the tick
 /// mode: artifacts are content-addressed and compared byte-for-byte by
-/// resume and by cross-run diffing.
+/// resume and by cross-run diffing. Every kernel × every model — the
+/// artifact layer deliberately excludes the simulator's
+/// self-instrumentation counters, so this also pins the store format
+/// against instrumentation changes.
 #[test]
 fn artifacts_are_byte_identical_across_tick_modes() {
     use flea_flicker::experiments::{HierKind, ModelKind};
     let machine = MachineConfig::itanium2_base();
+    for w in Workload::all(Scale::Test) {
+        let case = SimCase::new(&w.program, w.mem.clone());
+        for model_kind in ModelKind::ALL {
+            let spec = JobSpec::sim(model_kind, HierKind::Base, w.name, 0, Scale::Test);
+            let render = |tick| {
+                let mut model = model_kind.build(machine);
+                model.set_tick_mode(tick);
+                render_sim_artifact(&spec, &model.run(&case))
+            };
+            let polled = render(TickMode::Polling);
+            let event = render(TickMode::EventDriven);
+            assert_eq!(
+                polled,
+                event,
+                "artifact bytes diverge for {} on {}",
+                model_kind.name(),
+                w.name
+            );
+        }
+    }
+}
+
+/// The "zero heap allocation per instruction in steady state" invariant
+/// (DESIGN.md §7e): across full runs retiring thousands of instructions,
+/// `alloc_count` stays a small warm-up constant — the in-flight
+/// containers (OOO ready sets/timers, the runahead register overlay, the
+/// multipass seq ring) are sized to their windows up front and never
+/// grow on the hot path.
+#[test]
+fn in_flight_containers_do_not_allocate_in_steady_state() {
+    let machine = MachineConfig::itanium2_base();
     let w = Workload::by_name("mcf", Scale::Test).unwrap();
     let case = SimCase::new(&w.program, w.mem.clone());
-    for model_kind in ModelKind::ALL {
-        let spec = JobSpec::sim(model_kind, HierKind::Base, "mcf", 0, Scale::Test);
-        let render = |tick| {
-            let mut model = model_kind.build(machine);
-            model.set_tick_mode(tick);
-            render_sim_artifact(&spec, &model.run(&case))
-        };
-        let polled = render(TickMode::Polling);
-        let event = render(TickMode::EventDriven);
-        assert_eq!(polled, event, "artifact bytes diverge for {}", model_kind.name());
+    for (name, mut model) in models(machine) {
+        let result = model.run(&case);
+        assert!(
+            result.stats.retired > 2_000,
+            "{name}: kernel too small to exercise steady state ({} retired)",
+            result.stats.retired
+        );
+        assert!(
+            result.activity.alloc_count <= 16,
+            "{name}: alloc_count {} over {} retirements — an in-flight container \
+             is growing on the hot path",
+            result.activity.alloc_count,
+            result.stats.retired
+        );
     }
 }
 
