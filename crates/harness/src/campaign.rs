@@ -17,11 +17,12 @@ use ff_workloads::{Scale, Workload};
 use crate::artifact::{render_report_artifact, render_sim_artifact, verify_header};
 use crate::bundle::{CrashBundle, BUNDLE_RETIREMENTS};
 use crate::error::{JobError, JobErrorKind};
+use crate::integrity::{self, ReadError};
 use crate::job::{JobKind, JobSpec, REPORT_NAMES};
 use crate::json::Json;
 use crate::pool::run_jobs;
 use crate::quarantine::Quarantine;
-use crate::store::{find_artifact, write_artifact};
+use crate::store::{find_artifact, sweep_tmp, write_artifact};
 
 /// Extra seeds (beyond the canonical seed 0) the full campaign runs for
 /// the seed-sensitivity study, on the models it compares.
@@ -414,10 +415,19 @@ fn compute_artifact(
 }
 
 /// Whether a valid, hash-matching artifact for `spec` already exists
-/// (sharded layout or legacy flat fallback).
+/// (sharded layout or legacy flat fallback). Integrity-checked: a file
+/// that fails its checksum footer is moved to the `corrupt/` ledger and
+/// reads as absent, so the resume path transparently re-simulates it.
 pub fn artifact_is_current(out_dir: &Path, spec: &JobSpec) -> bool {
     let Some(path) = find_artifact(out_dir, spec) else { return false };
-    let Ok(text) = std::fs::read_to_string(&path) else { return false };
+    let text = match integrity::read_verified(&path) {
+        Ok((payload, _)) => payload,
+        Err(ReadError::Io(_)) => return false,
+        Err(ReadError::Corrupt(reason)) => {
+            let _ = integrity::quarantine_corrupt(out_dir, &path, &reason);
+            return false;
+        }
+    };
     let Ok(doc) = Json::parse(&text) else { return false };
     verify_header(spec, &doc).is_ok()
 }
@@ -533,6 +543,14 @@ fn eta_secs(done: usize, total: usize, elapsed_s: f64) -> f64 {
 /// reported in the returned [`CampaignReport`].
 pub fn run_campaign(jobs: &[JobSpec], opts: &CampaignOptions) -> std::io::Result<CampaignReport> {
     std::fs::create_dir_all(&opts.out_dir)?;
+    // Crashed (or chaos-killed) writers leave orphaned `.tmp-*` files;
+    // sweep them before the run so they can't accumulate forever.
+    match sweep_tmp(&opts.out_dir) {
+        Ok(0) | Err(_) => {}
+        Ok(swept) => {
+            eprintln!("swept {swept} orphaned .tmp file(s) from {}", opts.out_dir.display());
+        }
+    }
     let started = Instant::now();
     let done = AtomicUsize::new(0);
     let total = jobs.len();

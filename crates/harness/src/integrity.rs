@@ -1,0 +1,431 @@
+//! Artifact integrity: checksum footers, verified reads, and `fsck`.
+//!
+//! Every artifact the store writes carries a one-line footer after its
+//! JSON payload:
+//!
+//! ```text
+//! #ff-checksum v1 crc64=995dc9bbdf1939fa bytes=1234
+//! ```
+//!
+//! `crc64` is CRC-64/XZ over the payload bytes (everything before the
+//! footer line, including the payload's trailing newline) and `bytes` is
+//! the payload length, so both silent truncation and bit rot are caught
+//! on read. The footer is a *storage-layer* concern: [`open`] verifies
+//! and strips it, so everything above the store — artifact parsing,
+//! byte-identity contracts between served and locally-rendered
+//! artifacts, report rendering — sees pure payload bytes.
+//!
+//! Footerless files are accepted as **legacy** artifacts only when their
+//! payload still parses as JSON. The JSON parser rejects both partial
+//! documents and trailing garbage, so a sealed artifact truncated
+//! anywhere (mid-payload or mid-footer) can never masquerade as legacy:
+//! truncation mid-payload leaves unbalanced JSON, truncation mid-footer
+//! leaves `#…` trailing garbage, and truncation exactly at the footer
+//! boundary leaves the complete, valid payload — harmless by
+//! construction.
+//!
+//! [`fsck`] walks a store, classifies every artifact ok / legacy /
+//! corrupt, sweeps orphaned `.tmp-*` files left by crashed writers, and
+//! moves corrupt files into a `corrupt/` ledger directory so the
+//! scheduler transparently re-simulates them as memoization misses
+//! (self-healing). The same routine backs `ff-campaign fsck` and the
+//! `ff-server` startup scan.
+
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use crate::chaos;
+use crate::json::Json;
+use crate::store::artifact_hash_of;
+
+/// The footer tag. A versioned format: v2 readers can accept v1 files.
+pub const FOOTER_TAG: &str = "#ff-checksum v1";
+
+/// The ledger directory corrupt artifacts are moved into.
+pub const CORRUPT_DIR: &str = "corrupt";
+
+/// The append-only ledger file inside [`CORRUPT_DIR`].
+pub const LEDGER_NAME: &str = "ledger.jsonl";
+
+/// CRC-64/XZ (reflected, polynomial `0xC96C5795D7870F42`, init and
+/// xorout all-ones) — the checksum used by `xz` and compatible with
+/// `python3 -c 'import crcmod; …'` CI checks. Bitwise: artifacts are a
+/// few KB, table-free keeps the code obviously correct.
+pub fn crc64(bytes: &[u8]) -> u64 {
+    const POLY: u64 = 0xC96C_5795_D787_0F42;
+    let mut crc = !0u64;
+    for &b in bytes {
+        crc ^= u64::from(b);
+        for _ in 0..8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ POLY } else { crc >> 1 };
+        }
+    }
+    !crc
+}
+
+/// Appends the integrity footer to `payload`, which must end with a
+/// newline (artifact renderers guarantee it; one is added otherwise).
+pub fn seal(payload: &str) -> String {
+    let mut text = payload.to_string();
+    if !text.ends_with('\n') {
+        text.push('\n');
+    }
+    let crc = crc64(text.as_bytes());
+    let bytes = text.len();
+    text.push_str(&format!("{FOOTER_TAG} crc64={crc:016x} bytes={bytes}\n"));
+    text
+}
+
+/// Where a verified artifact's integrity came from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Provenance {
+    /// The file carried a valid checksum footer.
+    Sealed,
+    /// A footerless pre-checksum file whose payload still parses.
+    Legacy,
+}
+
+/// Verifies `text` and strips its footer, returning the payload.
+///
+/// # Errors
+///
+/// With a human-readable reason when the footer is malformed, the
+/// length or checksum mismatches, or a footerless file fails to parse
+/// as JSON (the legacy gate).
+pub fn open(text: &str) -> Result<(&str, Provenance), String> {
+    let footer_start = if text.starts_with(FOOTER_TAG) {
+        Some(0)
+    } else {
+        text.rfind(&format!("\n{FOOTER_TAG}")).map(|i| i + 1)
+    };
+    let Some(footer_start) = footer_start else {
+        // No footer at all: legacy only if the payload is intact JSON.
+        return match Json::parse(text) {
+            Ok(_) => Ok((text, Provenance::Legacy)),
+            Err(e) => Err(format!("no checksum footer and payload is not valid JSON ({e})")),
+        };
+    };
+    let payload = &text[..footer_start];
+    let footer = &text[footer_start..];
+    let Some(line) = footer.strip_suffix('\n') else {
+        return Err("truncated checksum footer (missing trailing newline)".into());
+    };
+    if line.contains('\n') {
+        return Err("garbage after checksum footer".into());
+    }
+    let rest = &line[FOOTER_TAG.len()..];
+    let mut crc_field = None;
+    let mut bytes_field = None;
+    for part in rest.split_whitespace() {
+        if let Some(v) = part.strip_prefix("crc64=") {
+            crc_field = u64::from_str_radix(v, 16).ok();
+        } else if let Some(v) = part.strip_prefix("bytes=") {
+            bytes_field = v.parse::<usize>().ok();
+        }
+    }
+    let (Some(crc), Some(bytes)) = (crc_field, bytes_field) else {
+        return Err(format!("malformed checksum footer `{line}`"));
+    };
+    if payload.len() != bytes {
+        return Err(format!(
+            "length mismatch: footer says {bytes} bytes, payload has {}",
+            payload.len()
+        ));
+    }
+    let actual = crc64(payload.as_bytes());
+    if actual != crc {
+        return Err(format!("checksum mismatch: footer says {crc:016x}, payload is {actual:016x}"));
+    }
+    Ok((payload, Provenance::Sealed))
+}
+
+/// Why a verified read failed.
+#[derive(Debug)]
+pub enum ReadError {
+    /// The file could not be read at all (missing, permissions, I/O).
+    Io(std::io::Error),
+    /// The file was read but failed integrity verification.
+    Corrupt(String),
+}
+
+impl std::fmt::Display for ReadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReadError::Io(e) => write!(f, "{e}"),
+            ReadError::Corrupt(reason) => write!(f, "{reason}"),
+        }
+    }
+}
+
+/// Reads `path` (through the chaos layer) and verifies its integrity,
+/// returning the footer-stripped payload.
+///
+/// # Errors
+///
+/// [`ReadError::Io`] when the file cannot be read, [`ReadError::Corrupt`]
+/// when it fails verification.
+pub fn read_verified(path: &Path) -> Result<(String, Provenance), ReadError> {
+    let text = chaos::read_to_string(path).map_err(ReadError::Io)?;
+    match open(&text) {
+        Ok((payload, provenance)) => Ok((payload.to_string(), provenance)),
+        Err(reason) => Err(ReadError::Corrupt(reason)),
+    }
+}
+
+/// Moves a corrupt artifact into `<root>/corrupt/` and appends a line to
+/// the ledger recording the file, where it came from, and why. Returns
+/// the quarantined path. Name collisions get a numeric suffix, so
+/// repeated corruption of the same grid point keeps every specimen.
+///
+/// # Errors
+///
+/// On a filesystem error moving the file (the ledger append is
+/// best-effort: losing a ledger line must not block self-healing).
+pub fn quarantine_corrupt(root: &Path, path: &Path, reason: &str) -> std::io::Result<PathBuf> {
+    let dir = root.join(CORRUPT_DIR);
+    std::fs::create_dir_all(&dir)?;
+    let name = path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "unnamed".to_string());
+    let mut dest = dir.join(&name);
+    let mut n = 1;
+    while dest.exists() {
+        dest = dir.join(format!("{name}.{n}"));
+        n += 1;
+    }
+    std::fs::rename(path, &dest)?;
+    let from = path.strip_prefix(root).unwrap_or(path).to_string_lossy().into_owned();
+    let line = format!(
+        "{{\"file\": {:?}, \"from\": {:?}, \"reason\": {:?}}}\n",
+        dest.file_name().map(|n| n.to_string_lossy().into_owned()).unwrap_or_default(),
+        from,
+        reason,
+    );
+    if let Ok(mut ledger) =
+        std::fs::OpenOptions::new().create(true).append(true).open(dir.join(LEDGER_NAME))
+    {
+        let _ = ledger.write_all(line.as_bytes());
+    }
+    Ok(dest)
+}
+
+/// What [`fsck`] found (and fixed) in one store.
+#[derive(Debug, Default)]
+pub struct FsckReport {
+    /// Artifacts with a valid checksum footer.
+    pub ok: usize,
+    /// Footerless pre-checksum artifacts that still parse.
+    pub legacy: usize,
+    /// Corrupt artifacts, as (store-relative path, reason); each has
+    /// been moved to the `corrupt/` ledger.
+    pub corrupt: Vec<(String, String)>,
+    /// Orphaned `.tmp-*` files swept (crashed or torn writers).
+    pub orphan_tmp: usize,
+}
+
+impl FsckReport {
+    /// Whether the store needed no healing.
+    pub fn clean(&self) -> bool {
+        self.corrupt.is_empty() && self.orphan_tmp == 0
+    }
+
+    /// A one-line human summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} ok, {} legacy, {} corrupt (moved to {CORRUPT_DIR}/), {} orphaned tmp swept",
+            self.ok,
+            self.legacy,
+            self.corrupt.len(),
+            self.orphan_tmp,
+        )
+    }
+}
+
+/// Whether `name` is a shard directory name (`"00"`..`"ff"`).
+fn is_shard_dir(name: &str) -> bool {
+    name.len() == 2 && name.bytes().all(|b| b.is_ascii_hexdigit() && !b.is_ascii_uppercase())
+}
+
+/// Whether `name` is a writer temp file (see `durable_write`).
+pub fn is_tmp_name(name: &str) -> bool {
+    name.starts_with(".tmp-")
+}
+
+/// Walks the store at `root` — the flat root plus every shard directory
+/// — verifying every artifact and sweeping every orphaned `.tmp-*`
+/// file. Corrupt artifacts are moved to `<root>/corrupt/` and ledgered;
+/// a subsequent campaign or server run transparently re-simulates them
+/// as memoization misses.
+///
+/// # Errors
+///
+/// On a filesystem error scanning directories (per-file read failures
+/// are classified as corrupt, not fatal).
+pub fn fsck(root: &Path) -> std::io::Result<FsckReport> {
+    let mut report = FsckReport::default();
+    let mut dirs = vec![root.to_path_buf()];
+    for entry in std::fs::read_dir(root)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        if is_shard_dir(&name.to_string_lossy()) && entry.path().is_dir() {
+            dirs.push(entry.path());
+        }
+    }
+    for dir in dirs {
+        for entry in std::fs::read_dir(&dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            if !path.is_file() {
+                continue;
+            }
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if is_tmp_name(&name) {
+                std::fs::remove_file(&path)?;
+                report.orphan_tmp += 1;
+                continue;
+            }
+            if artifact_hash_of(&name).is_none() {
+                continue; // manifest.json, quarantine.json, bundles, …
+            }
+            match read_verified(&path) {
+                Ok((_, Provenance::Sealed)) => report.ok += 1,
+                Ok((_, Provenance::Legacy)) => report.legacy += 1,
+                Err(e) => {
+                    let reason = e.to_string();
+                    let rel =
+                        path.strip_prefix(root).unwrap_or(&path).to_string_lossy().into_owned();
+                    quarantine_corrupt(root, &path, &reason)?;
+                    report.corrupt.push((rel, reason));
+                }
+            }
+        }
+    }
+    report.corrupt.sort();
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("ff-integrity-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn crc64_matches_the_xz_check_vector() {
+        assert_eq!(crc64(b"123456789"), 0x995D_C9BB_DF19_39FA);
+        assert_eq!(crc64(b""), 0);
+    }
+
+    #[test]
+    fn seal_then_open_round_trips_and_reports_sealed() {
+        let payload = "{\n  \"x\": 1\n}\n";
+        let sealed = seal(payload);
+        assert!(sealed.starts_with(payload));
+        assert!(sealed.contains(FOOTER_TAG));
+        let (back, prov) = open(&sealed).unwrap();
+        assert_eq!(back, payload);
+        assert_eq!(prov, Provenance::Sealed);
+    }
+
+    #[test]
+    fn open_accepts_intact_legacy_json_only() {
+        let (payload, prov) = open("{\n  \"x\": 1\n}\n").unwrap();
+        assert_eq!(prov, Provenance::Legacy);
+        assert_eq!(payload, "{\n  \"x\": 1\n}\n");
+        // A truncated legacy file is corrupt, not legacy.
+        assert!(open("{\n  \"x\": ").is_err());
+        // Trailing garbage is corrupt too.
+        assert!(open("{\"x\": 1}\ngarbage\n").is_err());
+    }
+
+    #[test]
+    fn every_truncation_point_of_a_sealed_artifact_is_detected() {
+        let original = "{\n  \"answer\": 42\n}\n";
+        let sealed = seal(original);
+        let full = Json::parse(original).unwrap();
+        for cut in 1..sealed.len() {
+            let clipped = &sealed[..cut];
+            // Either the cut is detected, or — for cuts that land exactly
+            // on the end of the JSON document (the legacy-acceptance
+            // boundary) — the surviving payload is the *complete*
+            // document: a JSON object has no valid proper prefix, so no
+            // cut can ever expose a partial artifact.
+            if let Ok((payload, _)) = open(clipped) {
+                assert_eq!(
+                    Json::parse(payload).unwrap(),
+                    full,
+                    "cut {cut} served a document that differs from the original",
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bit_flips_anywhere_in_the_payload_are_detected() {
+        let sealed = seal("{\n  \"answer\": 42\n}\n");
+        let payload_len = sealed.find(FOOTER_TAG).unwrap();
+        for i in 0..payload_len {
+            let mut bytes = sealed.as_bytes().to_vec();
+            bytes[i] ^= 0x01;
+            let Ok(text) = String::from_utf8(bytes) else { continue };
+            assert!(open(&text).is_err(), "flip at byte {i} not detected");
+        }
+    }
+
+    #[test]
+    fn length_and_checksum_mismatches_name_the_cause() {
+        let err =
+            open(&format!("{{}}\n{FOOTER_TAG} crc64=0000000000000000 bytes=3\n")).unwrap_err();
+        assert!(err.contains("checksum mismatch"), "{err}");
+        let err =
+            open(&format!("{{}}\n{FOOTER_TAG} crc64=0000000000000000 bytes=99\n")).unwrap_err();
+        assert!(err.contains("length mismatch"), "{err}");
+        let err = open(&format!("{{}}\n{FOOTER_TAG} nonsense\n")).unwrap_err();
+        assert!(err.contains("malformed checksum footer"), "{err}");
+    }
+
+    #[test]
+    fn fsck_classifies_sweeps_and_ledgers() {
+        use crate::job::JobSpec;
+        use ff_experiments::{HierKind, ModelKind};
+        use ff_workloads::Scale;
+
+        let dir = temp("fsck");
+        let ok_spec = JobSpec::sim(ModelKind::Multipass, HierKind::Base, "gzip", 0, Scale::Test);
+        let bad_spec = JobSpec::sim(ModelKind::InOrder, HierKind::Base, "mcf", 0, Scale::Test);
+        crate::store::write_artifact(&dir, &ok_spec, "{\"ok\": 1}\n").unwrap();
+        let bad_path = crate::store::write_artifact(&dir, &bad_spec, "{\"bad\": 1}\n").unwrap();
+        // Silently truncate one artifact and plant a legacy flat one plus
+        // an orphaned tmp file and a bystander.
+        let text = std::fs::read_to_string(&bad_path).unwrap();
+        std::fs::write(&bad_path, &text[..text.len() / 2]).unwrap();
+        let legacy_spec = JobSpec::sim(ModelKind::Ooo, HierKind::Base, "art", 0, Scale::Test);
+        std::fs::write(dir.join(legacy_spec.artifact_filename()), "{\"legacy\": 1}\n").unwrap();
+        std::fs::write(dir.join(".tmp-123-0-sim-x.json"), "partial").unwrap();
+        std::fs::write(dir.join("manifest.json"), "not json, not an artifact").unwrap();
+
+        let report = fsck(&dir).unwrap();
+        assert_eq!(report.ok, 1);
+        assert_eq!(report.legacy, 1);
+        assert_eq!(report.orphan_tmp, 1);
+        assert_eq!(report.corrupt.len(), 1, "{report:?}");
+        assert!(!report.clean());
+        assert!(!bad_path.exists(), "corrupt artifact must be moved out");
+        let ledger = std::fs::read_to_string(dir.join(CORRUPT_DIR).join(LEDGER_NAME)).unwrap();
+        assert!(ledger.contains(&bad_spec.artifact_filename()), "{ledger}");
+        assert!(dir.join("manifest.json").exists(), "bystanders stay put");
+
+        // Idempotent: a second pass finds a clean store.
+        let again = fsck(&dir).unwrap();
+        assert!(again.clean(), "{again:?}");
+        assert_eq!((again.ok, again.legacy), (1, 1));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -55,7 +55,9 @@
 pub mod artifact;
 pub mod bundle;
 pub mod campaign;
+pub mod chaos;
 pub mod error;
+pub mod integrity;
 pub mod job;
 pub mod json;
 pub mod manifest;
@@ -71,9 +73,12 @@ pub use campaign::{
     CampaignReport, ExecOptions, FailureInjection, JobContext, JobFilter, JobOutcome, JobStatus,
 };
 pub use error::{JobError, JobErrorKind};
+pub use integrity::FsckReport;
 pub use job::{JobKind, JobSpec, FORMAT_VERSION};
 pub use manifest::{read_manifest, write_manifest, ManifestSummary};
 pub use quarantine::Quarantine;
-pub use remote::{CampaignRequest, CampaignStatus, RemoteSource, ServerUrl};
+pub use remote::{CampaignRequest, CampaignStatus, RemoteSource, RetryPolicy, ServerUrl};
 pub use render_results::render_all;
-pub use store::{migrate_flat, ArtifactStore, ShardedStore};
+pub use store::{
+    durable_write, migrate_flat, parse_hash16, sweep_tmp, ArtifactStore, ShardedStore,
+};

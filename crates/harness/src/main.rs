@@ -44,6 +44,11 @@ USAGE:
     ff-campaign migrate-store [--out DIR]
                                    move a legacy flat artifact tree into the
                                    sharded layout (idempotent)
+    ff-campaign fsck   [--out DIR] verify every artifact's checksum footer:
+                                   corrupt files move to <out>/corrupt/ (with a
+                                   ledger line), orphaned .tmp files are swept;
+                                   a following `run` re-simulates the quarantined
+                                   configs from scratch
     ff-campaign submit --server URL [OPTIONS] [--wait]
                                    submit the plan to a running ff-server
     ff-campaign status --server URL --id ID
@@ -148,7 +153,15 @@ fn parse_cli(argv: &[String]) -> Result<Cli, String> {
     }
     if !matches!(
         cmd.as_str(),
-        "run" | "resume" | "list" | "status" | "migrate-store" | "submit" | "fetch" | "render"
+        "run"
+            | "resume"
+            | "list"
+            | "status"
+            | "migrate-store"
+            | "fsck"
+            | "submit"
+            | "fetch"
+            | "render"
     ) {
         return Err(usage_err(&format!("unknown command `{cmd}`")));
     }
@@ -275,6 +288,23 @@ fn cmd_migrate_store(cli: &Cli) -> ExitCode {
     }
 }
 
+fn cmd_fsck(cli: &Cli) -> ExitCode {
+    let dir = out_dir(cli);
+    match ff_harness::integrity::fsck(&dir) {
+        Ok(report) => {
+            eprintln!("ff-campaign: fsck {}: {}", dir.display(), report.summary());
+            for (file, reason) in &report.corrupt {
+                eprintln!("  corrupt: {file} ({reason})");
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("ff-campaign: fsck {}: {e}", dir.display());
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn print_remote_status(status: &ff_harness::CampaignStatus) {
     let counts: Vec<String> = status.counts.iter().map(|(k, v)| format!("{v} {k}")).collect();
     eprintln!(
@@ -386,6 +416,17 @@ fn cmd_fetch(cli: &Cli) -> ExitCode {
         return ExitCode::FAILURE;
     }
     let hashes: Vec<String> = if let Some(hash) = cli.hash.as_deref() {
+        // Validate the shape locally so a typo is a usage error here, not
+        // a server-side 400 (the hash becomes a URL path component).
+        if ff_harness::parse_hash16(hash).is_none() {
+            eprintln!(
+                "{}",
+                usage_err(&format!(
+                    "bad --hash `{hash}` (want exactly 16 lowercase hex characters)"
+                ))
+            );
+            return ExitCode::from(2);
+        }
         vec![hash.to_string()]
     } else if let Some(id) = cli.id.as_deref() {
         match campaign_status(&url, id) {
@@ -527,7 +568,9 @@ fn print_throughput_deltas(report: &CampaignReport, dir: &std::path::Path) {
             continue;
         }
         let Some(path) = find_artifact(dir, &o.spec) else { continue };
-        let Ok(text) = std::fs::read_to_string(&path) else { continue };
+        // Verified read: strips the checksum footer (parse_sim_artifact
+        // wants the bare JSON payload) and skips corrupt files.
+        let Ok((text, _)) = ff_harness::integrity::read_verified(&path) else { continue };
         let Ok(result) = parse_sim_artifact(&o.spec, &text) else { continue };
         let name = model.name();
         match per_model.iter_mut().find(|(m, _, _)| m == name) {
@@ -636,6 +679,10 @@ fn cmd_run(cli: &Cli) -> ExitCode {
 }
 
 fn main() -> ExitCode {
+    // Deterministic fault injection for the chaos suite: honored only
+    // when FF_CHAOS is set (see `ff_harness::chaos`); the guard keeps the
+    // policy installed for the process lifetime.
+    let _chaos = ff_harness::chaos::install_from_env();
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let cli = match parse_cli(&argv) {
         Ok(cli) => cli,
@@ -650,6 +697,7 @@ fn main() -> ExitCode {
         "status" if cli.server.is_some() => cmd_remote_status(&cli),
         "status" => cmd_status(&cli),
         "migrate-store" => cmd_migrate_store(&cli),
+        "fsck" => cmd_fsck(&cli),
         "submit" => cmd_submit(&cli),
         "fetch" => cmd_fetch(&cli),
         "render" => cmd_remote_render(&cli),

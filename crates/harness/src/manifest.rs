@@ -78,12 +78,14 @@ pub fn render_manifest(report: &CampaignReport, git: &str) -> String {
     .render()
 }
 
-/// Writes the manifest for `report` into its output directory.
+/// Writes the manifest for `report` into its output directory, durably
+/// (tmp + fsync + rename): a crash mid-write leaves the previous
+/// manifest intact, never a torn one.
 pub fn write_manifest(dir: &Path, report: &CampaignReport) -> std::io::Result<()> {
     // Describe the *working* directory's repository, not the artifact
     // directory's — campaigns often write outside the source tree.
     let git = git_describe(Path::new("."));
-    std::fs::write(dir.join(MANIFEST_NAME), render_manifest(report, &git))
+    crate::store::durable_write(&dir.join(MANIFEST_NAME), &render_manifest(report, &git))
 }
 
 /// A parsed manifest, as consumed by `ff-campaign status` and CI.

@@ -105,7 +105,9 @@ impl Quarantine {
         }
     }
 
-    /// Writes the ledger into `dir`.
+    /// Writes the ledger into `dir`, durably (tmp + fsync + rename): a
+    /// crash mid-save leaves the previous ledger intact, never a torn
+    /// one.
     ///
     /// # Errors
     ///
@@ -128,7 +130,7 @@ impl Quarantine {
             ("format", Json::U64(QUARANTINE_FORMAT)),
             ("strikes", Json::Obj(pairs)),
         ]);
-        std::fs::write(dir.join(QUARANTINE_NAME), doc.render())
+        crate::store::durable_write(&dir.join(QUARANTINE_NAME), &doc.render())
     }
 }
 

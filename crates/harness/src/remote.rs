@@ -255,18 +255,72 @@ impl std::fmt::Display for ServerUrl {
 /// Timeout for each client request (connect, read, write).
 const CLIENT_TIMEOUT: Duration = Duration::from_secs(30);
 
-/// Performs one HTTP/1.1 request against the campaign service, returning
-/// `(status code, body)`.
+/// A parsed HTTP response: status, body, and the transport-hardening
+/// headers the client honors.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HttpResponse {
+    /// HTTP status code.
+    pub code: u16,
+    /// Response body.
+    pub body: String,
+    /// The server's `Retry-After` (seconds), when present — the
+    /// load-shedding backpressure signal the retry loop honors.
+    pub retry_after: Option<u64>,
+}
+
+/// Parses a complete raw HTTP/1.1 response. Verifies the body against
+/// `Content-Length` when the server sent one, so a connection reset
+/// mid-body surfaces as a (retryable) transport error rather than a
+/// silently truncated artifact.
 ///
 /// # Errors
 ///
-/// On connect/IO failure or an unparsable response.
-pub fn http_request(
+/// On a malformed head, bad status line, or a body/`Content-Length`
+/// mismatch.
+fn parse_response(text: &str) -> Result<HttpResponse, String> {
+    let (head, body) = text
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| "malformed response (no header/body split)".to_string())?;
+    let status_line = head.lines().next().unwrap_or("");
+    let code = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|c| c.parse::<u16>().ok())
+        .ok_or_else(|| format!("bad status line `{status_line}`"))?;
+    let mut content_length = None;
+    let mut retry_after = None;
+    for line in head.lines().skip(1) {
+        let Some((name, value)) = line.split_once(':') else { continue };
+        let value = value.trim();
+        if name.eq_ignore_ascii_case("content-length") {
+            content_length = value.parse::<usize>().ok();
+        } else if name.eq_ignore_ascii_case("retry-after") {
+            retry_after = value.parse::<u64>().ok();
+        }
+    }
+    if let Some(expected) = content_length {
+        if body.len() != expected {
+            return Err(format!(
+                "truncated response: Content-Length {expected}, got {} bytes (connection reset?)",
+                body.len(),
+            ));
+        }
+    }
+    Ok(HttpResponse { code, body: body.to_string(), retry_after })
+}
+
+/// Performs one HTTP/1.1 request against the campaign service.
+///
+/// # Errors
+///
+/// On connect/IO failure, an unparsable response, or a body truncated
+/// against its `Content-Length`.
+fn http_request_once(
     url: &ServerUrl,
     method: &str,
     path: &str,
     body: Option<&str>,
-) -> Result<(u16, String), String> {
+) -> Result<HttpResponse, String> {
     let addr = url
         .authority()
         .to_socket_addrs()
@@ -287,32 +341,116 @@ pub fn http_request(
     let mut raw = Vec::new();
     stream.read_to_end(&mut raw).map_err(|e| format!("read from {url}: {e}"))?;
     let text = String::from_utf8(raw).map_err(|_| format!("non-UTF-8 response from {url}"))?;
-    let (head, response_body) =
-        text.split_once("\r\n\r\n").ok_or_else(|| format!("malformed response from {url}"))?;
-    let status_line = head.lines().next().unwrap_or("");
-    let code = status_line
-        .split_whitespace()
-        .nth(1)
-        .and_then(|c| c.parse::<u16>().ok())
-        .ok_or_else(|| format!("bad status line `{status_line}` from {url}"))?;
-    Ok((code, response_body.to_string()))
+    parse_response(&text).map_err(|e| format!("{e} from {url}"))
 }
 
-/// `GET path`, expecting a 200 response.
+/// Performs one HTTP/1.1 request against the campaign service, returning
+/// `(status code, body)`. No retries: callers that want the hardened
+/// retry loop use [`http_get`] / [`http_get_with`].
 ///
 /// # Errors
 ///
-/// On transport failure or a non-200 status (the error carries the
-/// server's message).
-pub fn http_get(url: &ServerUrl, path: &str) -> Result<String, String> {
-    let (code, body) = http_request(url, "GET", path, None)?;
-    if code != 200 {
-        return Err(format!("GET {path}: HTTP {code}: {}", server_error(&body)));
-    }
-    Ok(body)
+/// On connect/IO failure or an unparsable response.
+pub fn http_request(
+    url: &ServerUrl,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> Result<(u16, String), String> {
+    let r = http_request_once(url, method, path, body)?;
+    Ok((r.code, r.body))
 }
 
-/// `POST path` with a JSON body, expecting a 200/201 response.
+/// Retry policy for idempotent requests: bounded attempts with
+/// exponential backoff and seeded (deterministic) jitter.
+#[derive(Clone, Debug)]
+pub struct RetryPolicy {
+    /// Total attempts (>= 1); 1 disables retries.
+    pub attempts: u32,
+    /// First backoff delay; doubles per retry.
+    pub base_delay_ms: u64,
+    /// Upper bound on any single delay.
+    pub max_delay_ms: u64,
+    /// Jitter seed, so two clients retrying the same outage do not
+    /// thundering-herd in lockstep while tests stay reproducible.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy { attempts: 4, base_delay_ms: 50, max_delay_ms: 2_000, seed: 0x5eed }
+    }
+}
+
+/// How long to sleep before retry number `attempt` (0-based): exponential
+/// backoff plus seeded jitter, floored by the server's `Retry-After`
+/// request (capped at 10s so a confused server cannot stall the client),
+/// capped by the policy's max. Pure — unit tests exercise it without
+/// sleeping.
+pub fn backoff_delay_ms(policy: &RetryPolicy, attempt: u32, retry_after_s: Option<u64>) -> u64 {
+    let exp = policy.base_delay_ms.saturating_mul(1u64 << attempt.min(16));
+    // One xorshift64 round over (seed, attempt) for deterministic jitter.
+    let mut x = policy.seed ^ u64::from(attempt + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    let jitter = x % policy.base_delay_ms.max(1);
+    let delay = exp.saturating_add(jitter).min(policy.max_delay_ms);
+    match retry_after_s {
+        Some(s) => delay.max(s.min(10).saturating_mul(1000)),
+        None => delay,
+    }
+}
+
+/// `GET path` under `policy`, expecting a 200 response. GET is
+/// idempotent, so transport failures (connect refused, reset mid-body)
+/// and 503 load-shed responses are retried with exponential backoff,
+/// honoring the server's `Retry-After`. Any other status fails fast.
+///
+/// # Errors
+///
+/// On a non-retryable status, or when every attempt failed (the error
+/// carries the last failure and the attempt count).
+pub fn http_get_with(url: &ServerUrl, path: &str, policy: &RetryPolicy) -> Result<String, String> {
+    let attempts = policy.attempts.max(1);
+    let mut last = String::new();
+    let mut retry_after = None;
+    for attempt in 0..attempts {
+        if attempt > 0 {
+            std::thread::sleep(Duration::from_millis(backoff_delay_ms(
+                policy,
+                attempt - 1,
+                retry_after,
+            )));
+        }
+        match http_request_once(url, "GET", path, None) {
+            Ok(r) if r.code == 200 => return Ok(r.body),
+            Ok(r) if r.code == 503 => {
+                last = format!("GET {path}: HTTP 503: {}", server_error(&r.body));
+                retry_after = r.retry_after;
+            }
+            Ok(r) => return Err(format!("GET {path}: HTTP {}: {}", r.code, server_error(&r.body))),
+            Err(e) => {
+                last = e;
+                retry_after = None;
+            }
+        }
+    }
+    Err(format!("{last} (after {attempts} attempts)"))
+}
+
+/// `GET path` under the default [`RetryPolicy`], expecting a 200.
+///
+/// # Errors
+///
+/// See [`http_get_with`].
+pub fn http_get(url: &ServerUrl, path: &str) -> Result<String, String> {
+    http_get_with(url, path, &RetryPolicy::default())
+}
+
+/// `POST path` with a JSON body, expecting a 200/201 response. POST is
+/// *not* idempotent (a lost response could mean a duplicate campaign),
+/// so it never retries; callers see the failure and decide.
 ///
 /// # Errors
 ///
@@ -494,6 +632,52 @@ mod tests {
         for bad in ["127.0.0.1", "http://:7878", "host:notaport"] {
             assert!(ServerUrl::parse(bad).is_err(), "{bad}");
         }
+    }
+
+    #[test]
+    fn parse_response_reads_status_and_retry_after() {
+        let r = parse_response(
+            "HTTP/1.1 503 Service Unavailable\r\nRetry-After: 2\r\nContent-Length: 2\r\n\r\nno",
+        )
+        .unwrap();
+        assert_eq!((r.code, r.retry_after, r.body.as_str()), (503, Some(2), "no"));
+        let r = parse_response("HTTP/1.1 200 OK\r\n\r\nhello").unwrap();
+        assert_eq!((r.code, r.retry_after, r.body.as_str()), (200, None, "hello"));
+    }
+
+    #[test]
+    fn parse_response_rejects_bodies_truncated_against_content_length() {
+        let err =
+            parse_response("HTTP/1.1 200 OK\r\nContent-Length: 100\r\n\r\npartial").unwrap_err();
+        assert!(err.contains("truncated response"), "{err}");
+        assert!(parse_response("no header split at all").is_err());
+        assert!(parse_response("BOGUS\r\n\r\nbody").is_err());
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_with_bounded_jitter_and_cap() {
+        let p = RetryPolicy { attempts: 5, base_delay_ms: 100, max_delay_ms: 1_000, seed: 42 };
+        let d: Vec<u64> = (0..5).map(|a| backoff_delay_ms(&p, a, None)).collect();
+        for (a, &delay) in d.iter().enumerate() {
+            let exp = 100u64 << a;
+            assert!(delay >= exp.min(1_000), "attempt {a}: {delay} below exponential floor");
+            assert!(delay <= (exp + 100).min(1_000), "attempt {a}: {delay} above jittered cap");
+        }
+        assert_eq!(d[4], 1_000, "cap must bind eventually");
+        // Deterministic for a fixed seed, different across seeds.
+        assert_eq!(backoff_delay_ms(&p, 1, None), backoff_delay_ms(&p, 1, None));
+        let q = RetryPolicy { seed: 43, ..p.clone() };
+        assert_ne!(
+            (0..5).map(|a| backoff_delay_ms(&p, a, None)).collect::<Vec<_>>(),
+            (0..5).map(|a| backoff_delay_ms(&q, a, None)).collect::<Vec<_>>(),
+        );
+    }
+
+    #[test]
+    fn backoff_honors_retry_after_with_a_sanity_cap() {
+        let p = RetryPolicy { attempts: 3, base_delay_ms: 10, max_delay_ms: 100, seed: 1 };
+        assert!(backoff_delay_ms(&p, 0, Some(2)) >= 2_000, "Retry-After floors the delay");
+        assert!(backoff_delay_ms(&p, 0, Some(9999)) <= 10_000, "absurd Retry-After is capped");
     }
 
     #[test]

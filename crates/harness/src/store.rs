@@ -32,6 +32,8 @@ use ff_experiments::{HierKind, ModelKind, ResultSource};
 use ff_workloads::{Scale, Workload};
 
 use crate::artifact::{parse_report_artifact, parse_sim_artifact};
+use crate::chaos;
+use crate::integrity::{self, Provenance, ReadError};
 use crate::job::JobSpec;
 
 /// Number of shard directories (two hex chars of the config hash).
@@ -89,32 +91,99 @@ pub fn find_by_hash(root: &Path, hash: u64) -> Option<PathBuf> {
 
 static TMP_COUNTER: AtomicU64 = AtomicU64::new(0);
 
-/// Writes `text` as the artifact for `spec` in the sharded layout,
-/// atomically: the bytes land in a temp file in the destination shard and
-/// are renamed over the final name, so a concurrent reader sees either no
-/// artifact or a complete one, never a torn write.
+/// Writes `text` to `path` durably and atomically: the bytes land in a
+/// `.tmp-*` sibling, are fsynced, renamed over the final name, and the
+/// parent directory is fsynced so the rename itself survives a crash. A
+/// concurrent reader sees either no file or a complete one; a crash at
+/// any point leaves at worst an orphaned temp file, swept by
+/// [`sweep_tmp`] on the next store open. All I/O routes through
+/// [`chaos`], so the chaos suite exercises exactly this code path.
 ///
 /// # Errors
 ///
-/// On failure to create the shard directory or write/rename the file.
+/// On failure to write, fsync, or rename (an injected torn write
+/// surfaces here as an error with the partial temp file left behind,
+/// exactly like a killed process).
+pub fn durable_write(path: &Path, text: &str) -> std::io::Result<()> {
+    let dir = path.parent().filter(|p| !p.as_os_str().is_empty()).unwrap_or(Path::new("."));
+    let name = path.file_name().map(|n| n.to_string_lossy().into_owned()).unwrap_or_default();
+    let tmp = dir.join(format!(
+        ".tmp-{}-{}-{}",
+        std::process::id(),
+        TMP_COUNTER.fetch_add(1, Ordering::Relaxed),
+        name,
+    ));
+    chaos::write(&tmp, text.as_bytes())?;
+    chaos::fsync_file(&tmp)?;
+    chaos::rename(&tmp, path)?;
+    chaos::fsync_dir(dir);
+    Ok(())
+}
+
+/// Writes `text` as the artifact for `spec` in the sharded layout,
+/// sealed with an integrity footer ([`integrity::seal`]) and written
+/// durably ([`durable_write`]): a concurrent reader sees either no
+/// artifact or a complete, checksummed one, never a torn write, and the
+/// artifact survives a crash immediately after the call returns.
+///
+/// # Errors
+///
+/// On failure to create the shard directory or write/fsync/rename the
+/// file.
 pub fn write_artifact(root: &Path, spec: &JobSpec, text: &str) -> std::io::Result<PathBuf> {
     let path = sharded_path(root, spec);
     let shard = path.parent().expect("sharded path has a parent");
     std::fs::create_dir_all(shard)?;
-    let tmp = shard.join(format!(
-        ".tmp-{}-{}-{}",
-        std::process::id(),
-        TMP_COUNTER.fetch_add(1, Ordering::Relaxed),
-        spec.artifact_filename(),
-    ));
-    std::fs::write(&tmp, text)?;
-    std::fs::rename(&tmp, &path)?;
+    durable_write(&path, &integrity::seal(text))?;
     Ok(path)
+}
+
+/// Removes orphaned `.tmp-*` files (crashed or torn writers) from the
+/// store root and every shard directory, returning how many were swept.
+/// Racing an in-flight writer is harmless-but-lossy: the writer's
+/// rename fails, the job reports a write error, and the retry loop or
+/// next resume re-produces the artifact.
+///
+/// # Errors
+///
+/// On a filesystem error scanning directories.
+pub fn sweep_tmp(root: &Path) -> std::io::Result<usize> {
+    let mut swept = 0;
+    let mut dirs = vec![root.to_path_buf()];
+    if let Ok(entries) = std::fs::read_dir(root) {
+        for entry in entries.flatten() {
+            if entry.path().is_dir() {
+                dirs.push(entry.path());
+            }
+        }
+    }
+    for dir in dirs {
+        let Ok(entries) = std::fs::read_dir(&dir) else { continue };
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            if integrity::is_tmp_name(&name.to_string_lossy()) && entry.path().is_file() {
+                std::fs::remove_file(entry.path())?;
+                swept += 1;
+            }
+        }
+    }
+    Ok(swept)
+}
+
+/// Parses a config hash that must be *exactly* 16 lowercase hex chars —
+/// the only shape the server and store accept before touching the
+/// filesystem, so path-traversal-shaped or abbreviated hashes are
+/// rejected up front rather than probed against the disk.
+pub fn parse_hash16(text: &str) -> Option<u64> {
+    if text.len() != 16 || !text.bytes().all(|b| b.is_ascii_digit() || (b'a'..=b'f').contains(&b)) {
+        return None;
+    }
+    u64::from_str_radix(text, 16).ok()
 }
 
 /// Whether a file name looks like an artifact (`sim-…-{16 hex}.json` or
 /// `report-…-{16 hex}.json`), returning its embedded config hash.
-fn artifact_hash_of(name: &str) -> Option<u64> {
+pub fn artifact_hash_of(name: &str) -> Option<u64> {
     if !name.starts_with("sim-") && !name.starts_with("report-") {
         return None;
     }
@@ -163,23 +232,65 @@ pub fn migrate_flat(root: &Path) -> std::io::Result<usize> {
 pub struct ShardedStore {
     root: PathBuf,
     locks: Vec<Mutex<()>>,
+    counters: StoreCounters,
+}
+
+/// Integrity observability for one [`ShardedStore`], surfaced by
+/// `ff-server`'s `/healthz`.
+#[derive(Debug, Default)]
+pub struct StoreCounters {
+    /// Reads that verified a checksum footer.
+    pub sealed_reads: AtomicU64,
+    /// Reads that accepted a footerless legacy artifact.
+    pub legacy_reads: AtomicU64,
+    /// Corrupt artifacts detected (and moved to the `corrupt/` ledger).
+    pub corrupt_detected: AtomicU64,
+    /// Orphaned `.tmp-*` files swept at open.
+    pub tmp_swept: AtomicU64,
+}
+
+impl StoreCounters {
+    /// The counters as a JSON object (the `"store"` section of
+    /// `ff-server`'s `/healthz`).
+    pub fn to_json(&self) -> crate::json::Json {
+        use crate::json::Json;
+        Json::obj(vec![
+            ("sealed_reads", Json::U64(self.sealed_reads.load(Ordering::Relaxed))),
+            ("legacy_reads", Json::U64(self.legacy_reads.load(Ordering::Relaxed))),
+            ("corrupt_detected", Json::U64(self.corrupt_detected.load(Ordering::Relaxed))),
+            ("tmp_swept", Json::U64(self.tmp_swept.load(Ordering::Relaxed))),
+        ])
+    }
 }
 
 impl ShardedStore {
-    /// Opens (creating if needed) the store rooted at `root`.
+    /// Opens (creating if needed) the store rooted at `root`, sweeping
+    /// any orphaned `.tmp-*` files left by crashed writers.
     ///
     /// # Errors
     ///
-    /// On failure to create the root directory.
+    /// On failure to create the root directory or scan it for the sweep.
     pub fn open(root: impl Into<PathBuf>) -> std::io::Result<Self> {
         let root = root.into();
         std::fs::create_dir_all(&root)?;
-        Ok(ShardedStore { root, locks: (0..SHARD_COUNT).map(|_| Mutex::new(())).collect() })
+        let swept = sweep_tmp(&root)?;
+        let counters = StoreCounters::default();
+        counters.tmp_swept.store(swept as u64, Ordering::Relaxed);
+        Ok(ShardedStore {
+            root,
+            locks: (0..SHARD_COUNT).map(|_| Mutex::new(())).collect(),
+            counters,
+        })
     }
 
     /// The store's root directory.
     pub fn root(&self) -> &Path {
         &self.root
+    }
+
+    /// The store's integrity counters.
+    pub fn counters(&self) -> &StoreCounters {
+        &self.counters
     }
 
     fn lock(&self, hash: u64) -> std::sync::MutexGuard<'_, ()> {
@@ -189,24 +300,83 @@ impl ShardedStore {
         guard.unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
-    /// Whether an artifact for `spec` exists (sharded or legacy flat).
+    /// Verifies and strips the integrity footer of the artifact at
+    /// `path`. A corrupt file is moved to the `corrupt/` ledger
+    /// (self-healing: the next lookup is a memoization miss that
+    /// re-simulates) and reads as absent. Caller holds the shard lock.
+    fn read_verified_locked(&self, path: &Path) -> Option<String> {
+        match integrity::read_verified(path) {
+            Ok((payload, Provenance::Sealed)) => {
+                self.counters.sealed_reads.fetch_add(1, Ordering::Relaxed);
+                Some(payload)
+            }
+            Ok((payload, Provenance::Legacy)) => {
+                self.counters.legacy_reads.fetch_add(1, Ordering::Relaxed);
+                Some(payload)
+            }
+            Err(ReadError::Io(_)) => None,
+            Err(ReadError::Corrupt(reason)) => {
+                self.counters.corrupt_detected.fetch_add(1, Ordering::Relaxed);
+                let _ = integrity::quarantine_corrupt(&self.root, path, &reason);
+                None
+            }
+        }
+    }
+
+    /// Whether a *verified* artifact for `spec` exists (sharded or
+    /// legacy flat). A corrupt entry counts as absent — and is healed
+    /// away — so memoization can never serve damaged bytes.
     pub fn contains(&self, spec: &JobSpec) -> bool {
         let _guard = self.lock(spec.config_hash());
-        find_artifact(&self.root, spec).is_some()
+        self.read_locked(spec).is_some()
     }
 
-    /// Reads the artifact for `spec`, if present.
+    fn read_locked(&self, spec: &JobSpec) -> Option<String> {
+        // Two probes: if the sharded copy is corrupt it is quarantined
+        // by the first pass, and a legacy flat fallback (hidden behind
+        // it until now) may still satisfy the read.
+        for _ in 0..2 {
+            let path = find_artifact(&self.root, spec)?;
+            if let Some(payload) = self.read_verified_locked(&path) {
+                return Some(payload);
+            }
+        }
+        None
+    }
+
+    /// Reads the artifact for `spec`, if present and intact.
     pub fn read(&self, spec: &JobSpec) -> Option<String> {
         let _guard = self.lock(spec.config_hash());
-        let path = find_artifact(&self.root, spec)?;
-        std::fs::read_to_string(path).ok()
+        self.read_locked(spec)
     }
 
-    /// Reads an artifact by config hash alone.
+    /// Reads an artifact by config hash alone, verifying integrity.
     pub fn read_by_hash(&self, hash: u64) -> Option<String> {
         let _guard = self.lock(hash);
-        let path = find_by_hash(&self.root, hash)?;
-        std::fs::read_to_string(path).ok()
+        for _ in 0..2 {
+            let path = find_by_hash(&self.root, hash)?;
+            if let Some(payload) = self.read_verified_locked(&path) {
+                return Some(payload);
+            }
+        }
+        None
+    }
+
+    /// Runs a full integrity scan over the store (see
+    /// [`integrity::fsck`]), folding what it finds into the counters.
+    ///
+    /// # Errors
+    ///
+    /// On a filesystem error scanning the store.
+    pub fn fsck(&self) -> std::io::Result<integrity::FsckReport> {
+        // Serialize against every shard by taking no per-shard locks but
+        // relying on rename-atomicity: fsck only ever moves whole files
+        // that fail verification, which a concurrent publish replaces
+        // wholesale anyway.
+        let report = integrity::fsck(&self.root)?;
+        self.counters.corrupt_detected.fetch_add(report.corrupt.len() as u64, Ordering::Relaxed);
+        self.counters.tmp_swept.fetch_add(report.orphan_tmp as u64, Ordering::Relaxed);
+        Ok(report)
     }
 
     /// Publishes `text` as the artifact for `spec` (atomic rename).
@@ -266,13 +436,17 @@ impl ArtifactStore {
         if !self.cache.contains_key(&key) {
             let spec = JobSpec::sim(model, hier, bench, seed, self.scale);
             let path = find_artifact(&self.dir, &spec).unwrap_or_else(|| self.path_for(&spec));
-            let text = std::fs::read_to_string(&path).map_err(|e| {
-                format!(
+            let (text, _) = integrity::read_verified(&path).map_err(|e| match e {
+                ReadError::Io(e) => format!(
                     "no artifact for {} at {} ({e}); run `ff-campaign run --all --scale {}` first",
                     spec.id(),
                     path.display(),
                     crate::job::scale_name(self.scale),
-                )
+                ),
+                ReadError::Corrupt(reason) => format!(
+                    "corrupt artifact {}: {reason}; run `ff-campaign fsck` to quarantine and re-simulate",
+                    path.display(),
+                ),
             })?;
             let result = parse_sim_artifact(&spec, &text)
                 .map_err(|e| format!("corrupt artifact {}: {e}", path.display()))?;
@@ -305,13 +479,17 @@ impl ArtifactStore {
     pub fn try_report_text(&self, name: &'static str) -> Result<String, String> {
         let spec = JobSpec::report(name, self.scale);
         let path = find_artifact(&self.dir, &spec).unwrap_or_else(|| self.path_for(&spec));
-        let text = std::fs::read_to_string(&path).map_err(|e| {
-            format!(
+        let (text, _) = integrity::read_verified(&path).map_err(|e| match e {
+            ReadError::Io(e) => format!(
                 "no artifact for {} at {} ({e}); run `ff-campaign run --all --scale {}` first",
                 spec.id(),
                 path.display(),
                 crate::job::scale_name(self.scale),
-            )
+            ),
+            ReadError::Corrupt(reason) => format!(
+                "corrupt artifact {}: {reason}; run `ff-campaign fsck` to quarantine and re-simulate",
+                path.display(),
+            ),
         })?;
         parse_report_artifact(&spec, &text)
             .map_err(|e| format!("corrupt artifact {}: {e}", path.display()))
@@ -466,6 +644,94 @@ mod tests {
         let hex = format!("{:016x}", spec.config_hash());
         assert_eq!(shard_name(spec.config_hash()), hex[..2].to_string());
         assert!(f.contains(&hex));
+    }
+
+    #[test]
+    fn parse_hash16_accepts_only_exact_lowercase_hex() {
+        assert_eq!(parse_hash16("00000000deadbeef"), Some(0xdead_beef));
+        assert_eq!(parse_hash16("ffffffffffffffff"), Some(u64::MAX));
+        for bad in [
+            "deadbeef",
+            "00000000DEADBEEF",
+            "../../../../etc/p",
+            "0000000deadbeef!",
+            "00000000deadbeef0",
+            "",
+        ] {
+            assert_eq!(parse_hash16(bad), None, "{bad:?} must be rejected");
+        }
+    }
+
+    #[test]
+    fn open_sweeps_orphaned_tmp_files_and_counts_them() {
+        let dir = temp_dir("sweep");
+        let shard = dir.join("ab");
+        std::fs::create_dir_all(&shard).unwrap();
+        std::fs::write(dir.join(".tmp-1-0-sim-x.json"), "partial").unwrap();
+        std::fs::write(shard.join(".tmp-2-1-sim-y.json"), "partial").unwrap();
+        std::fs::write(dir.join("manifest.json"), "{}\n").unwrap();
+        let store = ShardedStore::open(&dir).unwrap();
+        assert_eq!(store.counters().tmp_swept.load(Ordering::Relaxed), 2);
+        assert!(!dir.join(".tmp-1-0-sim-x.json").exists());
+        assert!(!shard.join(".tmp-2-1-sim-y.json").exists());
+        assert!(dir.join("manifest.json").exists(), "bystanders survive the sweep");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_artifact_reads_as_absent_and_is_quarantined() {
+        let dir = temp_dir("selfheal");
+        let store = ShardedStore::open(&dir).unwrap();
+        let spec = JobSpec::sim(ModelKind::Multipass, HierKind::Config1, "gzip", 1, Scale::Test);
+        let path = store.publish(&spec, "{\"x\": 42}\n").unwrap();
+        assert!(store.contains(&spec));
+        // Silently truncate the sealed artifact on disk.
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &text[..text.len() - 10]).unwrap();
+        assert!(store.read(&spec).is_none(), "truncated artifact must not be served");
+        assert!(!path.exists(), "corrupt artifact must be healed away");
+        assert!(!store.contains(&spec), "healed entry is a memoization miss");
+        assert_eq!(store.counters().corrupt_detected.load(Ordering::Relaxed), 1);
+        let ledger_dir = dir.join(crate::integrity::CORRUPT_DIR);
+        assert!(ledger_dir.join(spec.artifact_filename()).exists(), "specimen kept in ledger");
+        // Republish: the store is whole again.
+        store.publish(&spec, "{\"x\": 42}\n").unwrap();
+        assert_eq!(store.read(&spec).unwrap(), "{\"x\": 42}\n");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_sharded_copy_falls_back_to_intact_flat_legacy() {
+        let dir = temp_dir("fallback");
+        let store = ShardedStore::open(&dir).unwrap();
+        let spec = JobSpec::sim(ModelKind::InOrder, HierKind::Config2, "art", 0, Scale::Test);
+        let sharded = store.publish(&spec, "{\"v\": 1}\n").unwrap();
+        // Plant an intact legacy flat copy *behind* the sharded one, then
+        // corrupt the sharded copy.
+        std::fs::write(dir.join(spec.artifact_filename()), "{\"v\": 1}\n").unwrap();
+        std::fs::write(&sharded, "{\"v\"").unwrap();
+        assert_eq!(
+            store.read(&spec).unwrap(),
+            "{\"v\": 1}\n",
+            "flat fallback must satisfy the read"
+        );
+        assert!(!sharded.exists(), "corrupt sharded copy healed away");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn durable_write_is_atomic_and_leaves_no_tmp() {
+        let dir = temp_dir("durable");
+        let path = dir.join("file.json");
+        durable_write(&path, "{\"a\": 1}\n").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "{\"a\": 1}\n");
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .flatten()
+            .filter(|e| e.file_name().to_string_lossy().starts_with(".tmp-"))
+            .collect();
+        assert!(leftovers.is_empty(), "no temp debris after a clean write");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

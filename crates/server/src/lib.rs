@@ -31,7 +31,7 @@ pub mod service;
 
 use std::sync::Arc;
 
-pub use http::{HttpServer, Request, Response};
+pub use http::{HttpOptions, HttpServer, Request, Response, TransportCounters};
 pub use scheduler::{Counters, Scheduler, SchedulerOptions, CAMPAIGNS_DIR};
 pub use service::Service;
 
@@ -62,11 +62,23 @@ impl Server {
         opts: SchedulerOptions,
     ) -> std::io::Result<Server> {
         let store = ShardedStore::open(store_root)?;
+        // Startup integrity scan: quarantine anything corrupt *before*
+        // the scheduler starts trusting the memo cache, so a damaged
+        // artifact reads as a miss and re-simulates instead of being
+        // served. A clean store scans silently.
+        let scan = store.fsck()?;
+        if !scan.clean() {
+            eprintln!("ff-server: store integrity scan: {}", scan.summary());
+        }
         let scheduler = Scheduler::start(store, opts);
         let service = Arc::new(Service::new(scheduler));
         let handler_service = Arc::clone(&service);
-        let http =
-            HttpServer::start(addr, HTTP_THREADS, move |request| handler_service.handle(request))?;
+        let http = HttpServer::start_with(
+            addr,
+            HttpOptions { threads: HTTP_THREADS, ..HttpOptions::default() },
+            Arc::clone(service.transport()),
+            move |request| handler_service.handle(request),
+        )?;
         Ok(Server { http, service })
     }
 

@@ -321,11 +321,14 @@ impl Scheduler {
             let total = Self::enqueue(&mut inner, id.clone(), request);
             (id, total)
         };
-        // Persist the spec so a restarted server resumes this campaign.
+        // Persist the spec so a restarted server resumes this campaign —
+        // durably (tmp + fsync + rename), so a crash mid-submit leaves
+        // either no checkpoint or a complete one, never a torn file
+        // `resume_checkpointed` would silently skip.
         let dir = self.campaign_dir(&id);
-        if let Err(e) = std::fs::create_dir_all(&dir)
-            .and_then(|()| std::fs::write(dir.join("request.json"), request.to_json().render()))
-        {
+        if let Err(e) = std::fs::create_dir_all(&dir).and_then(|()| {
+            ff_harness::durable_write(&dir.join("request.json"), &request.to_json().render())
+        }) {
             eprintln!("ff-server: warning: could not persist campaign {id}: {e}");
         }
         self.work.notify_all();

@@ -1,7 +1,11 @@
 //! End-to-end HTTP tests: a real `Server` on an ephemeral port, driven
 //! through the same `ff_harness::remote` client the CLI uses, running
-//! real simulations at test scale.
+//! real simulations at test scale — plus the transport-hardening
+//! scenarios: hash-shape validation, oversized-body rejection,
+//! load-shedding, retry-through-reset, and crash-damaged restarts.
 
+use std::io::{Read, Write};
+use std::net::TcpStream;
 use std::time::{Duration, Instant};
 
 use ff_experiments::{HierKind, ModelKind};
@@ -187,5 +191,228 @@ fn the_server_memoizes_artifacts_published_by_a_direct_cli_style_run() {
             .expect("stored artifact");
         assert_eq!(served, stored);
     }
+    server.shutdown();
+}
+
+/// A healthz field from a named section (`"counters"`, `"transport"`,
+/// `"store"`).
+fn health_field(url: &ServerUrl, section: &str, name: &str) -> u64 {
+    let body = http_get(url, "/healthz").expect("healthz");
+    let doc = Json::parse(&body).expect("healthz JSON");
+    doc.get(section).and_then(|c| c.get(name)).and_then(Json::as_u64).unwrap_or(u64::MAX)
+}
+
+/// `GET /jobs/{hash}` validates the hash's *shape* before any store
+/// lookup: anything but exactly 16 lowercase hex is a 400 (never a 404
+/// from a bogus probe, never a confused path join), and a well-formed
+/// but absent hash is a 404.
+#[test]
+fn malformed_job_hashes_are_rejected_with_400_before_any_lookup() {
+    let store = temp_dir("hashshape");
+    let (server, url) = start(&store);
+
+    for bad in [
+        "abc",                    // too short
+        "0123456789abcdef0",      // too long
+        "0123456789ABCDEF",       // uppercase hex
+        "0123456789abcdeg",       // non-hex
+        "..%2f..%2fetc%2fpasswd", // traversal, encoded
+    ] {
+        let (code, body) =
+            http_request(&url, "GET", &format!("/jobs/{bad}"), None).expect("request");
+        assert_eq!(code, 400, "hash `{bad}` must be a shape error, body: {body}");
+        assert!(body.contains("16 lowercase hex"), "body: {body}");
+    }
+    // Raw traversal: the extra slashes make it a different (unknown)
+    // route, not a store probe.
+    let (code, _) = http_request(&url, "GET", "/jobs/../../etc/passwd", None).expect("request");
+    assert!(code == 400 || code == 404, "traversal must not be served, got {code}");
+
+    // Well-formed but absent: a clean 404.
+    let (code, body) = http_request(&url, "GET", "/jobs/00000000000000aa", None).expect("request");
+    assert_eq!(code, 404, "body: {body}");
+    server.shutdown();
+}
+
+/// An oversized `Content-Length` is answered with `413 Payload Too
+/// Large` from the headers alone — the server never reads the body, so
+/// the test sends none.
+#[test]
+fn oversized_bodies_are_rejected_with_413_before_reading() {
+    let store = temp_dir("oversize");
+    let (server, url) = start(&store);
+
+    let mut stream = TcpStream::connect(server.addr()).expect("connect");
+    let claimed = 2 * 1024 * 1024; // 2 MiB > the 1 MiB cap
+    write!(
+        stream,
+        "POST /campaigns HTTP/1.1\r\nHost: test\r\nContent-Length: {claimed}\r\nConnection: close\r\n\r\n"
+    )
+    .expect("send headers");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    assert!(response.starts_with("HTTP/1.1 413 "), "response: {response}");
+    assert!(response.contains("exceeds"), "response: {response}");
+
+    assert_eq!(health_field(&url, "transport", "oversized"), 1);
+    assert!(health_field(&url, "transport", "http_4xx") >= 1);
+    server.shutdown();
+}
+
+/// With one worker wedged and a one-deep accept queue full, the accept
+/// thread sheds the next connection with `503` + `Retry-After` instead
+/// of queueing without bound — and counts the shed.
+#[test]
+fn a_full_accept_queue_sheds_load_with_503_and_retry_after() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    use ff_server::{HttpOptions, HttpServer, Response, TransportCounters};
+
+    let entered = Arc::new(AtomicBool::new(false));
+    let release = Arc::new(AtomicBool::new(false));
+    let (entered_h, release_h) = (Arc::clone(&entered), Arc::clone(&release));
+    let counters = Arc::new(TransportCounters::default());
+    let http = HttpServer::start_with(
+        "127.0.0.1:0",
+        HttpOptions { threads: 1, queue_cap: 1 },
+        Arc::clone(&counters),
+        move |_req| {
+            entered_h.store(true, Ordering::SeqCst);
+            while !release_h.load(Ordering::SeqCst) {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Response::ok("{}".to_string())
+        },
+    )
+    .expect("http server");
+    let url = ServerUrl::parse(&http.addr().to_string()).expect("url");
+
+    // A: claims the lone worker and blocks inside the handler.
+    let url_a = url.clone();
+    let a = std::thread::spawn(move || http_request(&url_a, "GET", "/a", None));
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while !entered.load(Ordering::SeqCst) {
+        assert!(Instant::now() < deadline, "first request never reached the handler");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    // B: fills the one-deep queue.
+    let url_b = url.clone();
+    let b = std::thread::spawn(move || http_request(&url_b, "GET", "/b", None));
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while counters.requests.load(Ordering::SeqCst) < 1 {
+        assert!(Instant::now() < deadline, "worker never dequeued");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    std::thread::sleep(Duration::from_millis(50)); // let the accept thread queue B
+
+    // C: must be shed by the accept thread, with the backoff hint.
+    let mut stream = TcpStream::connect(http.addr()).expect("connect");
+    stream.write_all(b"GET /c HTTP/1.1\r\nHost: test\r\nConnection: close\r\n\r\n").expect("send");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read");
+    assert!(response.starts_with("HTTP/1.1 503 "), "response: {response}");
+    assert!(response.contains("Retry-After: 1"), "response: {response}");
+    assert!(response.contains("capacity"), "response: {response}");
+    assert_eq!(counters.shed.load(Ordering::SeqCst), 1);
+
+    release.store(true, Ordering::SeqCst);
+    assert_eq!(a.join().unwrap().expect("A completes").0, 200);
+    assert_eq!(b.join().unwrap().expect("B completes").0, 200);
+    http.shutdown();
+}
+
+/// The retrying client survives connections reset mid-response: a
+/// fault-injecting proxy kills the first two replies partway through,
+/// the third passes, and `http_get` (idempotent, retried) returns the
+/// intact document. The truncation is *detected* (Content-Length
+/// mismatch), never silently accepted.
+#[test]
+fn the_client_retries_through_connection_resets() {
+    use ff_harness::chaos::TcpProxy;
+    use ff_harness::remote::{http_get_with, RetryPolicy};
+
+    let store = temp_dir("reset");
+    let (server, url) = start(&store);
+    let direct = http_get(&url, "/healthz").expect("direct healthz");
+
+    let proxy = TcpProxy::start(server.addr(), 2, 40).expect("proxy");
+    let proxied_url = ServerUrl::parse(&proxy.addr().to_string()).expect("url");
+
+    // Without retries, the truncated reply is a hard, *detected* error.
+    let err = http_request(&proxied_url, "GET", "/healthz", None)
+        .expect_err("a reset mid-body must not parse as success");
+    assert!(
+        err.contains("truncated") || err.contains("malformed"),
+        "the cut must be detected, got: {err}"
+    );
+
+    // With retries (attempt 2 also resets, attempt 3 passes), the client
+    // converges on the same bytes the direct route serves, modulo the
+    // transport counters that tick per request.
+    let policy = RetryPolicy { attempts: 4, base_delay_ms: 1, max_delay_ms: 20, seed: 7 };
+    let body = http_get_with(&proxied_url, "/healthz", &policy).expect("retried GET succeeds");
+    assert_eq!(proxy.connections(), 3, "two resets + one clean pass");
+    let doc = Json::parse(&body).expect("intact JSON after retries");
+    assert_eq!(doc.get("status"), Json::parse(&direct).unwrap().get("status"));
+
+    proxy.shutdown();
+    server.shutdown();
+}
+
+/// Crash damage across a restart: one artifact silently truncated, one
+/// campaign checkpoint corrupted. The restarted server quarantines the
+/// artifact in its startup scan, skips the unreadable checkpoint without
+/// panicking, and a resubmission re-simulates *only* the damaged config
+/// — the intact artifact stays a memo hit and every served byte matches
+/// the store.
+#[test]
+fn a_restart_over_crash_damage_heals_without_resimulating_intact_artifacts() {
+    let store = temp_dir("crashdamage");
+    let (server, url) = start(&store);
+    let request = tiny_request();
+    let (id, _) = submit_campaign(&url, &request).expect("submit");
+    wait_done(&url, &id);
+    server.shutdown();
+
+    // Silently truncate one artifact (crash damage the rename-atomicity
+    // protocol cannot prevent)...
+    let specs = request.expand();
+    let victim = ff_harness::store::sharded_path(&store, &specs[0]);
+    let bytes = std::fs::read(&victim).expect("victim artifact");
+    std::fs::write(&victim, &bytes[..bytes.len() / 2]).expect("truncate");
+    // ...and corrupt the campaign's resume checkpoint.
+    let checkpoint = store.join(CAMPAIGNS_DIR).join(&id).join("request.json");
+    std::fs::write(&checkpoint, "{ definitely not json").expect("corrupt checkpoint");
+
+    let (server, url) = start(&store);
+    // The unreadable checkpoint is skipped, not resumed and not fatal.
+    assert!(
+        campaign_status(&url, &id).is_err(),
+        "a corrupt checkpoint must not resurrect the campaign"
+    );
+    // The startup scan quarantined the damaged artifact.
+    assert_eq!(health_field(&url, "store", "corrupt_detected"), 1);
+    assert!(store.join("corrupt").is_dir(), "quarantine ledger directory exists");
+
+    let (id2, _) = submit_campaign(&url, &request).expect("resubmit");
+    let status = wait_done(&url, &id2);
+    assert_eq!(status.counts.get("hit"), Some(&1), "counts: {:?}", status.counts);
+    assert_eq!(status.counts.get("ok"), Some(&1), "counts: {:?}", status.counts);
+    assert_eq!(counter(&url, "misses"), 1, "only the damaged config re-simulates");
+    assert_eq!(counter(&url, "hits"), 1);
+
+    // Served bytes equal stored bytes for both configs; transport
+    // counters saw this session's traffic.
+    for job in &status.jobs {
+        let served = fetch_artifact(&url, &job.hash).expect("fetch");
+        let spec = specs.iter().find(|s| s.id() == job.id).expect("spec");
+        let stored = ff_harness::store::ShardedStore::open(&store)
+            .expect("store")
+            .read(spec)
+            .expect("stored artifact");
+        assert_eq!(served, stored, "served bytes must match the healed store");
+    }
+    assert!(health_field(&url, "transport", "requests") > 0);
     server.shutdown();
 }
